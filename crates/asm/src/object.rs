@@ -1,0 +1,258 @@
+//! A simple on-disk object format for linked programs.
+//!
+//! The paper's closing argument is that the hardware predictor "allows us
+//! to run existing binaries on a data-decoupled processor without any
+//! modification" — which presumes binaries exist as artifacts. This module
+//! gives [`Program`] a stable binary encoding (`ARL1`), so workloads can be
+//! built once, saved, and re-run or exchanged:
+//!
+//! ```text
+//! offset  field
+//! 0       magic "ARL1"
+//! 4       entry pc            (u64 LE)
+//! 12      text length         (u32 LE, instruction words)
+//! 16      data length         (u32 LE, bytes)
+//! 20      symbol count        (u32 LE)
+//! 24      text                (length × u64 LE encoded instructions)
+//! ...     provenance          (length × u8, one tag per instruction)
+//! ...     data                (raw bytes)
+//! ...     symbols             (u16 LE name length, name bytes, u64 LE pc)*
+//! ```
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use arl_isa::{decode, encode, DecodeError};
+
+use crate::program::Program;
+use crate::types::Provenance;
+
+const MAGIC: &[u8; 4] = b"ARL1";
+
+/// Errors produced while reading an object image.
+#[derive(Debug)]
+pub enum ObjectError {
+    /// The image does not start with the `ARL1` magic.
+    BadMagic,
+    /// The image is shorter than its header claims.
+    Truncated,
+    /// An instruction word failed to decode.
+    BadInstruction(DecodeError),
+    /// A provenance tag byte is out of range.
+    BadProvenance(u8),
+    /// A symbol name is not valid UTF-8.
+    BadSymbolName,
+}
+
+impl fmt::Display for ObjectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObjectError::BadMagic => write!(f, "not an ARL1 object image"),
+            ObjectError::Truncated => write!(f, "object image is truncated"),
+            ObjectError::BadInstruction(e) => write!(f, "bad instruction: {e}"),
+            ObjectError::BadProvenance(b) => write!(f, "bad provenance tag {b}"),
+            ObjectError::BadSymbolName => write!(f, "symbol name is not UTF-8"),
+        }
+    }
+}
+
+impl Error for ObjectError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ObjectError::BadInstruction(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+fn prov_code(p: Provenance) -> u8 {
+    match p {
+        Provenance::LocalVar => 0,
+        Provenance::StaticVar => 1,
+        Provenance::HeapBlock => 2,
+        Provenance::PointsToStack => 3,
+        Provenance::FunctionParam => 4,
+        Provenance::Mixed => 5,
+    }
+}
+
+fn prov_from(code: u8) -> Result<Provenance, ObjectError> {
+    Ok(match code {
+        0 => Provenance::LocalVar,
+        1 => Provenance::StaticVar,
+        2 => Provenance::HeapBlock,
+        3 => Provenance::PointsToStack,
+        4 => Provenance::FunctionParam,
+        5 => Provenance::Mixed,
+        b => return Err(ObjectError::BadProvenance(b)),
+    })
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ObjectError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(ObjectError::Truncated);
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u16(&mut self) -> Result<u16, ObjectError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, ObjectError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ObjectError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+impl Program {
+    /// Serializes the program into an `ARL1` object image.
+    pub fn to_object_bytes(&self) -> Vec<u8> {
+        let insts: Vec<_> = self.iter_text().map(|(_, i)| *i).collect();
+        let mut out = Vec::with_capacity(24 + insts.len() * 9 + self.data_image().len());
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&self.entry_pc().to_le_bytes());
+        out.extend_from_slice(&(insts.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.data_image().len() as u32).to_le_bytes());
+        let symbols = self.symbols();
+        out.extend_from_slice(&(symbols.len() as u32).to_le_bytes());
+        for inst in &insts {
+            out.extend_from_slice(&encode(inst).to_le_bytes());
+        }
+        for (pc, _) in self.iter_text() {
+            let tag = self
+                .provenance_at(pc)
+                .map(prov_code)
+                .unwrap_or(prov_code(Provenance::Mixed));
+            out.push(tag);
+        }
+        out.extend_from_slice(self.data_image());
+        let mut names: Vec<(&String, &u64)> = symbols.iter().collect();
+        names.sort();
+        for (name, &pc) in names {
+            out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(&pc.to_le_bytes());
+        }
+        out
+    }
+
+    /// Reconstructs a program from an `ARL1` object image.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ObjectError`] for malformed images.
+    pub fn from_object_bytes(bytes: &[u8]) -> Result<Program, ObjectError> {
+        let mut r = Reader { bytes, pos: 0 };
+        if r.take(4)? != MAGIC {
+            return Err(ObjectError::BadMagic);
+        }
+        let entry_pc = r.u64()?;
+        let text_len = r.u32()? as usize;
+        let data_len = r.u32()? as usize;
+        let symbol_count = r.u32()? as usize;
+        let mut insts = Vec::with_capacity(text_len);
+        for _ in 0..text_len {
+            let word = r.u64()?;
+            insts.push(decode(word).map_err(ObjectError::BadInstruction)?);
+        }
+        let mut prov = Vec::with_capacity(text_len);
+        for &b in r.take(text_len)? {
+            prov.push(prov_from(b)?);
+        }
+        let data = r.take(data_len)?.to_vec();
+        let mut symbols = HashMap::with_capacity(symbol_count);
+        for _ in 0..symbol_count {
+            let name_len = r.u16()? as usize;
+            let name = std::str::from_utf8(r.take(name_len)?)
+                .map_err(|_| ObjectError::BadSymbolName)?
+                .to_string();
+            let pc = r.u64()?;
+            symbols.insert(name, pc);
+        }
+        Ok(Program::from_parts(insts, prov, data, entry_pc, symbols))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FunctionBuilder, ProgramBuilder};
+    use arl_isa::Gpr;
+
+    fn sample() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let g = pb.global_words("tbl", &[7, 8, 9]);
+        let mut aux = FunctionBuilder::new("aux");
+        aux.addi(Gpr::V0, Gpr::A0, 1);
+        pb.add_function(aux);
+        let mut f = FunctionBuilder::new("main");
+        let slot = f.local(8);
+        f.load_global(Gpr::A0, g, 8);
+        f.call("aux");
+        f.store_local(Gpr::V0, slot, 0);
+        f.load_local(Gpr::A0, slot, 0);
+        f.print_int(Gpr::A0);
+        pb.add_function(f);
+        pb.link("main").unwrap()
+    }
+
+    #[test]
+    fn object_round_trip_preserves_everything() {
+        let p = sample();
+        let bytes = p.to_object_bytes();
+        let q = Program::from_object_bytes(&bytes).unwrap();
+        assert_eq!(p.entry_pc(), q.entry_pc());
+        assert_eq!(p.text_len(), q.text_len());
+        assert_eq!(p.data_image(), q.data_image());
+        assert_eq!(p.symbol("main"), q.symbol("main"));
+        assert_eq!(p.symbol("aux"), q.symbol("aux"));
+        for (pc, inst) in p.iter_text() {
+            assert_eq!(Some(inst), q.inst_at(pc));
+            assert_eq!(p.provenance_at(pc), q.provenance_at(pc));
+        }
+    }
+
+    #[test]
+    fn reloaded_programs_disassemble_identically() {
+        // (Execution equivalence is covered by an integration test in the
+        // facade crate, since `arl-asm` cannot depend on `arl-sim`.)
+        let p = sample();
+        let q = Program::from_object_bytes(&p.to_object_bytes()).unwrap();
+        assert_eq!(p.disassemble(), q.disassemble());
+    }
+
+    #[test]
+    fn corrupt_images_are_rejected() {
+        let p = sample();
+        let mut bytes = p.to_object_bytes();
+        assert!(matches!(
+            Program::from_object_bytes(&bytes[..10]),
+            Err(ObjectError::Truncated)
+        ));
+        bytes[0] = b'X';
+        assert!(matches!(
+            Program::from_object_bytes(&bytes),
+            Err(ObjectError::BadMagic)
+        ));
+        let mut garbage_text = p.to_object_bytes();
+        // Stomp the first instruction word with an invalid opcode.
+        garbage_text[24..32].copy_from_slice(&0xff00_0000_0000_0000u64.to_le_bytes());
+        assert!(matches!(
+            Program::from_object_bytes(&garbage_text),
+            Err(ObjectError::BadInstruction(_))
+        ));
+    }
+}

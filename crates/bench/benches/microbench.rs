@@ -1,0 +1,149 @@
+//! Criterion microbenchmarks for the simulator's hot structures: ARPT
+//! lookup/update, cache access, value prediction, the functional
+//! simulator's instruction throughput, and the cycle-level pipeline.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use arl_core::{Arpt, Capacity, Context, CounterScheme};
+use arl_mem::{HeapAllocator, Layout, MemImage};
+use arl_sim::Machine;
+use arl_timing::{Cache, CacheConfig, MachineConfig, StridePredictor, TimingSim};
+use arl_workloads::{workload, Scale};
+
+fn bench_arpt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arpt");
+    group.throughput(Throughput::Elements(1));
+    let mut limited = Arpt::new(
+        CounterScheme::OneBit,
+        Context::HYBRID_8_7,
+        Capacity::Entries(1 << 15),
+    );
+    let mut i = 0u64;
+    group.bench_function("predict_update_32k_hybrid", |b| {
+        b.iter(|| {
+            let pc = 0x40_0000 + (i % 4096) * 8;
+            let p = limited.predict(pc, i, 0x40_0000 + (i % 7) * 64);
+            limited.update(pc, i, 0x40_0000 + (i % 7) * 64, !p);
+            i = i.wrapping_add(1);
+        })
+    });
+    let mut unlimited = Arpt::new(
+        CounterScheme::OneBit,
+        Context::HYBRID_8_24,
+        Capacity::Unlimited,
+    );
+    group.bench_function("predict_update_unlimited", |b| {
+        b.iter(|| {
+            let pc = 0x40_0000 + (i % 4096) * 8;
+            unlimited.update(pc, i, 0, i & 1 == 0);
+            i = i.wrapping_add(1);
+        })
+    });
+    group.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache");
+    group.throughput(Throughput::Elements(1));
+    let mut l1 = Cache::new(CacheConfig::l1_data(2, 2));
+    let mut addr = 0u64;
+    group.bench_function("l1_access_streaming", |b| {
+        b.iter(|| {
+            l1.access(0x1000_0000 + (addr % (1 << 20)));
+            addr = addr.wrapping_add(32);
+        })
+    });
+    group.finish();
+}
+
+fn bench_value_predictor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("value_predictor");
+    group.throughput(Throughput::Elements(1));
+    let mut vp = StridePredictor::table4();
+    let mut i = 0i64;
+    group.bench_function("update_strided", |b| {
+        b.iter(|| {
+            vp.update(0x40_0000 + (i as u64 % 512) * 8, i * 4);
+            i += 1;
+        })
+    });
+    group.finish();
+}
+
+fn bench_mem_substrate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mem");
+    group.throughput(Throughput::Elements(1));
+    let mut image = MemImage::new();
+    let mut addr = 0u64;
+    group.bench_function("image_write_read_u64", |b| {
+        b.iter(|| {
+            image.write_u64(0x1000_0000 + (addr % (1 << 16)), addr);
+            let v = image.read_u64(0x1000_0000 + (addr % (1 << 16)));
+            addr = addr.wrapping_add(8);
+            v
+        })
+    });
+    group.bench_function("malloc_free_pairs", |b| {
+        b.iter_batched(
+            || HeapAllocator::new(&Layout::default()),
+            |mut alloc| {
+                let mut ptrs = Vec::with_capacity(64);
+                for i in 0..64 {
+                    ptrs.push(alloc.malloc(16 + (i % 5) * 8).unwrap());
+                }
+                for p in ptrs {
+                    alloc.free(p).unwrap();
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_functional_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("functional_sim");
+    let program = workload("compress").unwrap().build(Scale::tiny());
+    // Instructions retired per full run (constant for a deterministic
+    // program): measure instructions/second.
+    let mut probe = Machine::new(&program);
+    probe.run(100_000_000).unwrap();
+    group.throughput(Throughput::Elements(probe.retired()));
+    group.sample_size(20);
+    group.bench_function("compress_tiny_full_run", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(&program);
+            m.run(100_000_000).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_timing_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("timing_sim");
+    let program = workload("compress").unwrap().build(Scale::tiny());
+    let mut probe = Machine::new(&program);
+    probe.run(100_000_000).unwrap();
+    group.throughput(Throughput::Elements(probe.retired()));
+    group.sample_size(10);
+    for config in [
+        MachineConfig::baseline_2_0(),
+        MachineConfig::decoupled(3, 3),
+    ] {
+        group.bench_function(format!("compress_tiny_{}", config.name), |b| {
+            b.iter(|| TimingSim::run_program(&program, &config))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_arpt,
+    bench_cache,
+    bench_value_predictor,
+    bench_mem_substrate,
+    bench_functional_sim,
+    bench_timing_sim
+);
+criterion_main!(benches);

@@ -1,0 +1,195 @@
+//! # arl-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper (see `src/bin/`), backed by the
+//! shared runners in this library:
+//!
+//! * [`profile_suite`] / [`ProfileReport`] — one functional-simulation pass
+//!   per workload with every Section 3 profiler attached (drives Table 1,
+//!   Figure 2, Table 2).
+//! * [`evaluate`] — prediction-accuracy runs for arbitrary
+//!   [`EvalConfig`]s (drives Figure 4, Table 3, Figure 5 and the 2-bit
+//!   ablation).
+//! * [`scale_from_env`] — every binary honours `ARL_SCALE` (an integer
+//!   iteration multiplier; `tiny` for smoke runs) so results can be
+//!   reproduced at larger scales without recompiling.
+//!
+//! Run, e.g.:
+//!
+//! ```text
+//! cargo run --release -p arl-bench --bin figure4
+//! ARL_SCALE=4 cargo run --release -p arl-bench --bin table2
+//! ```
+
+use arl_asm::Program;
+use arl_core::{EvalConfig, Evaluator, HintTable, PredictionStats};
+use arl_sim::{
+    Machine, RegionBreakdown, RegionProfiler, SlidingWindowProfiler, WindowStats, WorkloadCharacter,
+};
+use arl_workloads::{suite, Scale, WorkloadSpec};
+
+/// Hard cap on instructions per workload run — generous headroom over the
+/// suite's defaults; a workload hitting it indicates a bug.
+pub const INST_CAP: u64 = 2_000_000_000;
+
+/// Everything the Section 3 profilers collect for one workload.
+pub struct ProfileReport {
+    /// The workload that produced this report.
+    pub spec: WorkloadSpec,
+    /// The linked program (kept for hint construction).
+    pub program: Program,
+    /// Table 1 columns.
+    pub character: WorkloadCharacter,
+    /// Figure 2 data.
+    pub breakdown: RegionBreakdown,
+    /// The raw per-pc profiler (kept for profile-hint construction).
+    pub profiler: RegionProfiler,
+    /// Table 2 data, one entry per window size (32, 64).
+    pub windows: Vec<WindowStats>,
+}
+
+/// Runs one workload through the functional simulator with all profilers
+/// attached.
+///
+/// # Panics
+///
+/// Panics if the workload fails to execute — workloads are deterministic
+/// programs, so any failure is a harness bug.
+pub fn profile_workload(spec: WorkloadSpec, scale: Scale) -> ProfileReport {
+    let program = spec.build(scale);
+    let mut machine = Machine::new(&program);
+    let mut character = WorkloadCharacter::default();
+    let mut profiler = RegionProfiler::new();
+    let mut windows = SlidingWindowProfiler::new();
+    let outcome = machine
+        .run_with(INST_CAP, |e| {
+            character.observe(e);
+            profiler.observe(e);
+            windows.observe(e);
+        })
+        .unwrap_or_else(|e| panic!("workload {} failed: {e}", spec.name));
+    assert!(
+        outcome.exited,
+        "workload {} exceeded the instruction cap",
+        spec.name
+    );
+    let breakdown = profiler.breakdown();
+    ProfileReport {
+        spec,
+        program,
+        character,
+        breakdown,
+        profiler,
+        windows: windows.stats(),
+    }
+}
+
+/// Profiles the whole 12-workload suite.
+pub fn profile_suite(scale: Scale) -> Vec<ProfileReport> {
+    suite()
+        .into_iter()
+        .map(|spec| profile_workload(spec, scale))
+        .collect()
+}
+
+/// Result of one prediction-accuracy run.
+pub struct EvalReport {
+    /// Accuracy and per-source tallies.
+    pub stats: PredictionStats,
+    /// ARPT entries occupied, when an ARPT was configured.
+    pub arpt_occupied: Option<usize>,
+}
+
+/// Replays one workload through a predictor configuration.
+///
+/// # Panics
+///
+/// Panics if the workload fails to execute.
+pub fn evaluate(spec: WorkloadSpec, scale: Scale, config: EvalConfig) -> EvalReport {
+    let program = spec.build(scale);
+    evaluate_program(&program, spec.name, config)
+}
+
+/// Replays an already-built program through a predictor configuration.
+///
+/// # Panics
+///
+/// Panics if the program fails to execute.
+pub fn evaluate_program(program: &Program, name: &str, config: EvalConfig) -> EvalReport {
+    let mut machine = Machine::new(program);
+    let mut evaluator = Evaluator::new(config);
+    let outcome = machine
+        .run_with(INST_CAP, |e| evaluator.observe(e))
+        .unwrap_or_else(|e| panic!("workload {name} failed: {e}"));
+    assert!(
+        outcome.exited,
+        "workload {name} exceeded the instruction cap"
+    );
+    EvalReport {
+        stats: *evaluator.stats(),
+        arpt_occupied: evaluator.arpt_occupied(),
+    }
+}
+
+/// Builds the paper's two hint sources for a profiled workload: the
+/// realizable Figure 6 compiler analysis and the profile-derived upper
+/// bound.
+pub fn hint_sources(report: &ProfileReport) -> (HintTable, HintTable) {
+    (
+        HintTable::from_program(&report.program),
+        HintTable::from_profile(&report.profiler),
+    )
+}
+
+/// Reads the run scale from `ARL_SCALE` (`"tiny"`, or an integer
+/// multiplier; default 1).
+pub fn scale_from_env() -> Scale {
+    match std::env::var("ARL_SCALE") {
+        Ok(v) if v.eq_ignore_ascii_case("tiny") => Scale::tiny(),
+        Ok(v) => Scale::new(v.parse().unwrap_or(1)),
+        Err(_) => Scale::default(),
+    }
+}
+
+/// Formats a count in millions with one decimal (Table 1 style).
+pub fn fmt_millions(n: u64) -> String {
+    format!("{:.1}M", n as f64 / 1e6)
+}
+
+/// Formats a fraction as a percentage with `digits` decimals.
+pub fn fmt_pct(x: f64, digits: usize) -> String {
+    format!("{:.digits$}%", 100.0 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arl_core::{Capacity, Context, PredictorKind};
+    use arl_workloads::workload;
+
+    #[test]
+    fn profile_and_evaluate_one_workload() {
+        let spec = workload("compress").unwrap();
+        let report = profile_workload(spec, Scale::tiny());
+        assert!(report.character.instructions > 10_000);
+        assert!(report.breakdown.static_total() > 0);
+        assert_eq!(report.windows.len(), 2);
+        let eval = evaluate(
+            spec,
+            Scale::tiny(),
+            EvalConfig {
+                kind: PredictorKind::OneBit,
+                context: Context::None,
+                capacity: Capacity::Unlimited,
+                hints: None,
+            },
+        );
+        assert!(eval.stats.accuracy() > 0.95);
+        assert!(eval.arpt_occupied.unwrap() > 0);
+    }
+
+    #[test]
+    fn fmt_helpers() {
+        assert_eq!(fmt_millions(1_234_567), "1.2M");
+        assert_eq!(fmt_pct(0.99891, 2), "99.89%");
+    }
+}

@@ -1,0 +1,47 @@
+//! Dispatch steering for the data-decoupled pipeline.
+
+/// Which memory instruction queue the dispatcher steers an instruction to
+/// (paper Section 4.2): the ordinary Load Store Queue backed by the data
+/// cache, or the Local Variable Access Queue backed by the stack cache.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum QueueChoice {
+    /// Load Store Queue → multi-ported data cache (non-stack references).
+    Lsq,
+    /// Local Variable Access Queue → local variable cache (stack
+    /// references).
+    Lvaq,
+}
+
+impl QueueChoice {
+    /// Steering decision from a predicted "is stack" bit.
+    pub fn from_prediction(predict_stack: bool) -> QueueChoice {
+        if predict_stack {
+            QueueChoice::Lvaq
+        } else {
+            QueueChoice::Lsq
+        }
+    }
+
+    /// The correct queue for an access whose region is now known.
+    pub fn correct_for(is_stack: bool) -> QueueChoice {
+        QueueChoice::from_prediction(is_stack)
+    }
+
+    /// Whether this choice routes to the stack pipeline.
+    pub fn is_stack_pipe(self) -> bool {
+        self == QueueChoice::Lvaq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prediction_maps_to_queue() {
+        assert_eq!(QueueChoice::from_prediction(true), QueueChoice::Lvaq);
+        assert_eq!(QueueChoice::from_prediction(false), QueueChoice::Lsq);
+        assert!(QueueChoice::Lvaq.is_stack_pipe());
+        assert!(!QueueChoice::Lsq.is_stack_pipe());
+    }
+}

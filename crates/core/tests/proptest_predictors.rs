@@ -1,0 +1,106 @@
+//! Property tests for the prediction machinery.
+
+use arl_core::{Arpt, Capacity, Context, CounterScheme};
+use proptest::prelude::*;
+
+fn context() -> impl Strategy<Value = Context> {
+    prop_oneof![
+        Just(Context::None),
+        (1u32..=16).prop_map(|bits| Context::Gbh { bits }),
+        (1u32..=24).prop_map(|bits| Context::Cid { bits }),
+        (1u32..=8, 1u32..=24)
+            .prop_map(|(gbh_bits, cid_bits)| Context::Hybrid { gbh_bits, cid_bits }),
+    ]
+}
+
+/// A plausible stream of (pc, ghr, ra, is_stack) observations.
+fn stream() -> impl Strategy<Value = Vec<(u64, u64, u64, bool)>> {
+    proptest::collection::vec(
+        (
+            (0u64..256).prop_map(|i| 0x40_0000 + i * 8),
+            any::<u16>().prop_map(u64::from),
+            (0u64..64).prop_map(|i| 0x40_0000 + i * 8),
+            any::<bool>(),
+        ),
+        1..200,
+    )
+}
+
+proptest! {
+    /// A 1-bit ARPT with unlimited capacity recalls the most recent
+    /// outcome for every distinct (pc, context) key, exactly.
+    #[test]
+    fn unlimited_one_bit_recalls_last_outcome(ctx in context(), obs in stream()) {
+        let mut arpt = Arpt::new(CounterScheme::OneBit, ctx, Capacity::Unlimited);
+        let mut model: std::collections::HashMap<u64, bool> = Default::default();
+        for (pc, ghr, ra, is_stack) in obs {
+            let key = (pc / 8) ^ ctx.value(ghr, ra);
+            let expected = model.get(&key).copied().unwrap_or(false);
+            prop_assert_eq!(arpt.predict(pc, ghr, ra), expected);
+            arpt.update(pc, ghr, ra, is_stack);
+            model.insert(key, is_stack);
+        }
+        prop_assert_eq!(arpt.occupied_entries(), model.len());
+    }
+
+    /// Limited tables obey the pigeonhole bound and prediction is a pure
+    /// function of the update history (two identically trained tables
+    /// agree everywhere).
+    #[test]
+    fn limited_tables_are_deterministic_and_bounded(
+        ctx in context(),
+        obs in stream(),
+        log2 in 4u32..10,
+    ) {
+        let cap = Capacity::Entries(1 << log2);
+        let mut a = Arpt::new(CounterScheme::OneBit, ctx, cap);
+        let mut b = Arpt::new(CounterScheme::OneBit, ctx, cap);
+        for &(pc, ghr, ra, is_stack) in &obs {
+            prop_assert_eq!(a.predict(pc, ghr, ra), b.predict(pc, ghr, ra));
+            a.update(pc, ghr, ra, is_stack);
+            b.update(pc, ghr, ra, is_stack);
+        }
+        prop_assert!(a.occupied_entries() <= 1 << log2);
+        prop_assert_eq!(a.occupied_entries(), b.occupied_entries());
+    }
+
+    /// Context values respect their declared bit budgets.
+    #[test]
+    fn context_values_fit_their_bits(
+        ghr in any::<u64>(),
+        ra in any::<u64>(),
+        gbh_bits in 1u32..=16,
+        cid_bits in 1u32..=24,
+    ) {
+        let gbh = Context::Gbh { bits: gbh_bits }.value(ghr, ra);
+        prop_assert!(gbh < 1 << gbh_bits);
+        let cid = Context::Cid { bits: cid_bits }.value(ghr, ra);
+        prop_assert!(cid < 1 << cid_bits);
+        let hybrid = Context::Hybrid { gbh_bits, cid_bits }.value(ghr, ra);
+        prop_assert!(hybrid < 1u64 << (gbh_bits + cid_bits));
+        // The hybrid decomposes into its fields.
+        prop_assert_eq!(hybrid >> cid_bits, gbh);
+        prop_assert_eq!(hybrid & ((1 << cid_bits) - 1), cid);
+    }
+
+    /// The 2-bit counter never changes its prediction after a single
+    /// contrary observation from a saturated state (hysteresis), and
+    /// always agrees with the 1-bit scheme after two consecutive
+    /// same-direction updates.
+    #[test]
+    fn two_bit_hysteresis_invariants(obs in proptest::collection::vec(any::<bool>(), 2..100)) {
+        let mut two = Arpt::new(CounterScheme::TwoBit, Context::None, Capacity::Unlimited);
+        let pc = 0x40_0000;
+        for window in obs.windows(2) {
+            two.update(pc, 0, 0, window[0]);
+            two.update(pc, 0, 0, window[1]);
+            if window[0] == window[1] {
+                prop_assert_eq!(
+                    two.predict(pc, 0, 0),
+                    window[0],
+                    "two consecutive outcomes decide the 2-bit prediction"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # arl-isa — the simulated instruction set
+//!
+//! A small load/store RISC ISA in the spirit of SimpleScalar's PISA (itself
+//! MIPS-derived), which the reproduced paper targets. The properties the
+//! paper's mechanisms rely on are all present:
+//!
+//! * 32 general-purpose registers with the MIPS software roles the static
+//!   region heuristics inspect: `$zero`, `$gp` (global pointer), `$sp` (stack
+//!   pointer), `$fp` (frame pointer), and `$ra` (link register, used as the
+//!   caller-identification context in the ARPT).
+//! * 32 double-precision floating-point registers.
+//! * A single memory addressing mode, base register + signed 16-bit
+//!   displacement; absolute ("constant") addressing is expressed with
+//!   `$zero` as the base, exactly as on MIPS/PISA.
+//! * 8-byte instruction words, matching PISA's "large instruction size"
+//!   (the paper indexes its ARPT with "15 bits of PC above least-significant
+//!   zeros", i.e. pc >> 3).
+//!
+//! Instructions are represented as the [`Inst`] enum and can be losslessly
+//! encoded to / decoded from 64-bit words ([`encode`], [`decode`]).
+//!
+//! ```
+//! use arl_isa::{Inst, AluOp, Gpr, encode, decode};
+//!
+//! let inst = Inst::AluI { op: AluOp::Add, rd: Gpr::T0, rs: Gpr::SP, imm: -16 };
+//! let word = encode(&inst);
+//! assert_eq!(decode(word).unwrap(), inst);
+//! ```
+
+mod encode;
+mod inst;
+mod reg;
+
+pub use encode::{decode, encode, DecodeError};
+pub use inst::{AluOp, BranchCond, FAluOp, FCmpOp, Inst, MemOpInfo, Syscall, Width, INST_BYTES};
+pub use reg::{Fpr, Gpr};

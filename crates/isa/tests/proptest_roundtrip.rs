@@ -1,0 +1,175 @@
+//! Property tests: every constructible instruction encodes/decodes losslessly,
+//! and arbitrary words either decode to something that re-encodes to itself or
+//! fail cleanly.
+
+use arl_isa::{decode, encode, AluOp, BranchCond, FAluOp, FCmpOp, Fpr, Gpr, Inst, Syscall, Width};
+use proptest::prelude::*;
+
+fn gpr() -> impl Strategy<Value = Gpr> {
+    (0u8..32).prop_map(Gpr::new)
+}
+
+fn fpr() -> impl Strategy<Value = Fpr> {
+    (0u8..32).prop_map(Fpr::new)
+}
+
+fn alu_op() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::Mul),
+        Just(AluOp::Div),
+        Just(AluOp::Rem),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Xor),
+        Just(AluOp::Sll),
+        Just(AluOp::Srl),
+        Just(AluOp::Sra),
+        Just(AluOp::Slt),
+        Just(AluOp::Sltu),
+    ]
+}
+
+fn falu_op() -> impl Strategy<Value = FAluOp> {
+    prop_oneof![
+        Just(FAluOp::Add),
+        Just(FAluOp::Sub),
+        Just(FAluOp::Mul),
+        Just(FAluOp::Div),
+        Just(FAluOp::Neg),
+        Just(FAluOp::Abs),
+        Just(FAluOp::Sqrt),
+    ]
+}
+
+fn fcmp_op() -> impl Strategy<Value = FCmpOp> {
+    prop_oneof![Just(FCmpOp::Lt), Just(FCmpOp::Le), Just(FCmpOp::Eq)]
+}
+
+fn cond() -> impl Strategy<Value = BranchCond> {
+    prop_oneof![
+        Just(BranchCond::Eq),
+        Just(BranchCond::Ne),
+        Just(BranchCond::Lt),
+        Just(BranchCond::Ge),
+        Just(BranchCond::Le),
+        Just(BranchCond::Gt),
+    ]
+}
+
+fn width() -> impl Strategy<Value = Width> {
+    prop_oneof![
+        Just(Width::Byte),
+        Just(Width::Half),
+        Just(Width::Word),
+        Just(Width::Double),
+    ]
+}
+
+fn syscall() -> impl Strategy<Value = Syscall> {
+    prop_oneof![
+        Just(Syscall::Exit),
+        Just(Syscall::Malloc),
+        Just(Syscall::Free),
+        Just(Syscall::PrintInt),
+        Just(Syscall::PrintChar),
+    ]
+}
+
+fn target() -> impl Strategy<Value = u64> {
+    (0u64..=u32::MAX as u64).prop_map(|t| t & !7)
+}
+
+fn inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        Just(Inst::Nop),
+        (alu_op(), gpr(), gpr(), gpr()).prop_map(|(op, rd, rs, rt)| Inst::Alu { op, rd, rs, rt }),
+        (alu_op(), gpr(), gpr(), any::<i16>()).prop_map(|(op, rd, rs, imm)| Inst::AluI {
+            op,
+            rd,
+            rs,
+            imm
+        }),
+        (gpr(), any::<u16>()).prop_map(|(rd, imm)| Inst::Lui { rd, imm }),
+        (width(), any::<bool>(), gpr(), gpr(), any::<i16>()).prop_map(
+            |(width, signed, rd, base, offset)| Inst::Load {
+                width,
+                signed,
+                rd,
+                base,
+                offset
+            }
+        ),
+        (width(), gpr(), gpr(), any::<i16>()).prop_map(|(width, rs, base, offset)| Inst::Store {
+            width,
+            rs,
+            base,
+            offset
+        }),
+        (fpr(), gpr(), any::<i16>()).prop_map(|(fd, base, offset)| Inst::FLoad {
+            fd,
+            base,
+            offset
+        }),
+        (fpr(), gpr(), any::<i16>()).prop_map(|(fs, base, offset)| Inst::FStore {
+            fs,
+            base,
+            offset
+        }),
+        (falu_op(), fpr(), fpr(), fpr()).prop_map(|(op, fd, fs, ft)| Inst::FAlu { op, fd, fs, ft }),
+        (fcmp_op(), gpr(), fpr(), fpr()).prop_map(|(op, rd, fs, ft)| Inst::FCmp { op, rd, fs, ft }),
+        (fpr(), gpr()).prop_map(|(fd, rs)| Inst::CvtIf { fd, rs }),
+        (gpr(), fpr()).prop_map(|(rd, fs)| Inst::CvtFi { rd, fs }),
+        (cond(), gpr(), gpr(), target()).prop_map(|(cond, rs, rt, target)| Inst::Branch {
+            cond,
+            rs,
+            rt,
+            target
+        }),
+        target().prop_map(|target| Inst::Jump { target }),
+        target().prop_map(|target| Inst::Jal { target }),
+        gpr().prop_map(|rs| Inst::Jr { rs }),
+        (gpr(), gpr()).prop_map(|(rd, rs)| Inst::Jalr { rd, rs }),
+        syscall().prop_map(|call| Inst::Sys { call }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_round_trip(inst in inst()) {
+        let word = encode(&inst);
+        prop_assert_eq!(decode(word).expect("decode of encoded inst"), inst);
+    }
+
+    #[test]
+    fn decode_is_a_partial_inverse(word in any::<u64>()) {
+        // Arbitrary words need not decode, but when they do the decoded
+        // instruction must re-encode to a word that decodes identically
+        // (i.e. decode∘encode is idempotent).
+        if let Ok(inst) = decode(word) {
+            let reencoded = encode(&inst);
+            prop_assert_eq!(decode(reencoded).expect("re-decode"), inst);
+        }
+    }
+
+    #[test]
+    fn display_never_panics(inst in inst()) {
+        let _ = inst.to_string();
+    }
+
+    #[test]
+    fn mem_op_consistency(inst in inst()) {
+        // is_load/is_store are consistent with mem_op, and mutually exclusive.
+        match inst.mem_op() {
+            Some(info) => {
+                prop_assert_eq!(inst.is_load(), info.is_load);
+                prop_assert_eq!(inst.is_store(), !info.is_load);
+            }
+            None => {
+                prop_assert!(!inst.is_load());
+                prop_assert!(!inst.is_store());
+            }
+        }
+    }
+}

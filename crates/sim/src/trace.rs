@@ -1,0 +1,74 @@
+//! Dynamic trace records.
+
+use arl_isa::{Gpr, Inst, Width};
+use arl_mem::Region;
+
+/// One dynamic memory access.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct MemAccess {
+    /// Effective address.
+    pub addr: u64,
+    /// Access width.
+    pub width: Width,
+    /// Load (`true`) or store (`false`).
+    pub is_load: bool,
+    /// The region the address falls in.
+    pub region: Region,
+}
+
+impl MemAccess {
+    /// Whether the access targets the stack region.
+    pub fn is_stack(&self) -> bool {
+        self.region == Region::Stack
+    }
+}
+
+/// One retired instruction, as produced by [`Machine`](crate::Machine).
+///
+/// Carries everything downstream consumers need:
+///
+/// * profilers use `pc` + `mem`;
+/// * the access-region predictors additionally use the run-time context
+///   (`ghr`, `ra`) sampled *before* the instruction executes — exactly what
+///   the fetch-stage ARPT lookup would see;
+/// * the timing simulator uses the register identities from `inst`, the
+///   produced `value` (for value-prediction verification), and `taken`.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct TraceEntry {
+    /// The instruction's address.
+    pub pc: u64,
+    /// The decoded instruction.
+    pub inst: Inst,
+    /// The memory access performed, if any.
+    pub mem: Option<MemAccess>,
+    /// For conditional branches: whether the branch was taken.
+    pub taken: bool,
+    /// The pc of the next retired instruction.
+    pub next_pc: u64,
+    /// Value written to the destination GPR, if the instruction writes one
+    /// (used by the stride value predictor).
+    pub gpr_write: Option<(Gpr, i64)>,
+    /// Global (conditional-)branch history register sampled before this
+    /// instruction; newest outcome in bit 0.
+    pub ghr: u64,
+    /// Link-register (`$ra`) value sampled before this instruction — the
+    /// paper's caller identification (CID) context.
+    pub ra: u64,
+}
+
+impl TraceEntry {
+    /// Whether this entry is a memory reference.
+    pub fn is_mem(&self) -> bool {
+        self.mem.is_some()
+    }
+
+    /// Whether this entry is a load.
+    pub fn is_load(&self) -> bool {
+        self.mem.map(|m| m.is_load).unwrap_or(false)
+    }
+
+    /// Whether this entry is a store.
+    pub fn is_store(&self) -> bool {
+        self.mem.map(|m| !m.is_load).unwrap_or(false)
+    }
+}

@@ -1,0 +1,28 @@
+//! # arl-stats — statistics and report rendering
+//!
+//! Small utilities shared by the profilers and the experiment harness:
+//!
+//! * [`Moments`] — streaming mean/variance (Welford), used for the
+//!   sliding-window burstiness statistics of Table 2.
+//! * [`Histogram`] — integer-valued histogram with summary statistics.
+//! * [`TableBuilder`] — aligned ASCII tables for the `table*` binaries.
+//! * [`BarChart`] — ASCII horizontal bar charts for the `figure*` binaries.
+//!
+//! ```
+//! use arl_stats::Moments;
+//!
+//! let mut m = Moments::new();
+//! for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+//!     m.push(x);
+//! }
+//! assert_eq!(m.mean(), 5.0);
+//! assert_eq!(m.population_stddev(), 2.0);
+//! ```
+
+mod chart;
+mod moments;
+mod table;
+
+pub use chart::BarChart;
+pub use moments::{Histogram, Moments};
+pub use table::TableBuilder;

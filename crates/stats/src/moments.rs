@@ -1,0 +1,247 @@
+//! Streaming moments and histograms.
+
+/// Streaming mean and variance via Welford's algorithm.
+///
+/// Numerically stable for the hundreds of millions of window samples the
+/// Table 2 profiler feeds it.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct Moments {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Moments {
+    /// Creates an empty accumulator.
+    pub fn new() -> Moments {
+        Moments {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 when empty).
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation — the paper's Table 2 burstiness metric.
+    pub fn population_stddev(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &Moments) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.m2 += other.m2 + delta * delta * self.count as f64 * other.count as f64 / total as f64;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The paper's "strictly bursty" predicate: mean < standard deviation.
+    pub fn is_strictly_bursty(&self) -> bool {
+        self.mean() < self.population_stddev()
+    }
+}
+
+impl Extend<f64> for Moments {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for Moments {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Moments {
+        let mut m = Moments::new();
+        m.extend(iter);
+        m
+    }
+}
+
+/// A histogram over small non-negative integer observations (window access
+/// counts), retaining exact bin counts alongside streaming moments.
+#[derive(Clone, Default, Debug)]
+pub struct Histogram {
+    bins: Vec<u64>,
+    moments: Moments,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: usize) {
+        if value >= self.bins.len() {
+            self.bins.resize(value + 1, 0);
+        }
+        self.bins[value] += 1;
+        self.moments.push(value as f64);
+    }
+
+    /// Count in bin `value`.
+    pub fn count(&self, value: usize) -> u64 {
+        self.bins.get(value).copied().unwrap_or(0)
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.moments.count()
+    }
+
+    /// Streaming moments over the observations.
+    pub fn moments(&self) -> &Moments {
+        &self.moments
+    }
+
+    /// The largest value observed, or `None` when empty.
+    pub fn max_value(&self) -> Option<usize> {
+        if self.bins.is_empty() {
+            None
+        } else {
+            Some(self.bins.len() - 1)
+        }
+    }
+
+    /// Iterates `(value, count)` pairs for non-empty bins.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.bins
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(v, &c)| (v, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_mean_and_stddev() {
+        let m: Moments = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
+        assert_eq!(m.count(), 8);
+        assert!((m.mean() - 5.0).abs() < 1e-12);
+        assert!((m.population_stddev() - 2.0).abs() < 1e-12);
+        assert_eq!(m.min(), 2.0);
+        assert_eq!(m.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_moments_are_zero() {
+        let m = Moments::new();
+        assert_eq!(m.mean(), 0.0);
+        assert_eq!(m.population_stddev(), 0.0);
+        assert_eq!(m.count(), 0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let whole: Moments = xs.iter().copied().collect();
+        let left: Moments = xs[..37].iter().copied().collect();
+        let mut merged = left;
+        let right: Moments = xs[37..].iter().copied().collect();
+        merged.merge(&right);
+        assert_eq!(merged.count(), whole.count());
+        assert!((merged.mean() - whole.mean()).abs() < 1e-9);
+        assert!((merged.population_stddev() - whole.population_stddev()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn strictly_bursty_predicate() {
+        // Clustered: many zeros, a few large values → stddev > mean.
+        let bursty: Moments = std::iter::repeat(0.0)
+            .take(95)
+            .chain(std::iter::repeat(20.0).take(5))
+            .collect();
+        assert!(bursty.is_strictly_bursty());
+        // Constant stream → stddev 0 < mean.
+        let steady: Moments = std::iter::repeat(5.0).take(100).collect();
+        assert!(!steady.is_strictly_bursty());
+    }
+
+    #[test]
+    fn histogram_counts_and_moments_agree() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 1, 3, 3, 3] {
+            h.record(v);
+        }
+        assert_eq!(h.count(0), 1);
+        assert_eq!(h.count(1), 2);
+        assert_eq!(h.count(2), 0);
+        assert_eq!(h.count(3), 3);
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.max_value(), Some(3));
+        assert!((h.moments().mean() - 11.0 / 6.0).abs() < 1e-12);
+        let pairs: Vec<(usize, u64)> = h.iter().collect();
+        assert_eq!(pairs, vec![(0, 1), (1, 2), (3, 3)]);
+    }
+}

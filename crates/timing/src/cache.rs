@@ -1,0 +1,521 @@
+//! Set-associative caches and the two-level memory hierarchy.
+
+use crate::config::{CacheConfig, MachineConfig, PortModel};
+
+/// Hit/miss counters for one cache.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct CacheStats {
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]` (1.0 when never accessed).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+/// A lock-up-free set-associative cache (tags only; data never matters to
+/// timing) with true-LRU replacement.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    config: CacheConfig,
+    /// `sets[set][way] = (tag, last_use)`; `u64::MAX` tag = invalid.
+    sets: Vec<Vec<(u64, u64)>>,
+    use_clock: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Builds an empty (all-invalid) cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero sizes, non-power-of-two
+    /// line size).
+    pub fn new(config: CacheConfig) -> Cache {
+        assert!(config.line_bytes.is_power_of_two(), "line size must be 2^k");
+        assert!(config.assoc > 0 && config.size_bytes > 0);
+        let lines = config.size_bytes / config.line_bytes;
+        let num_sets = (lines as usize / config.assoc).max(1);
+        Cache {
+            config,
+            sets: vec![vec![(u64::MAX, 0); config.assoc]; num_sets],
+            use_clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn set_and_tag(&self, addr: u64) -> (usize, u64) {
+        let block = addr / self.config.line_bytes;
+        let set = (block % self.sets.len() as u64) as usize;
+        let tag = block / self.sets.len() as u64;
+        (set, tag)
+    }
+
+    /// Accesses `addr`: returns `true` on hit. On miss the line is filled
+    /// (lock-up-free: the fill itself costs no extra port time here; the
+    /// latency is charged by [`MemSystem`]).
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.use_clock += 1;
+        let clock = self.use_clock;
+        let (set_idx, tag) = self.set_and_tag(addr);
+        let set = &mut self.sets[set_idx];
+        if let Some(way) = set.iter_mut().find(|(t, _)| *t == tag) {
+            way.1 = clock;
+            self.stats.hits += 1;
+            return true;
+        }
+        self.stats.misses += 1;
+        // Fill into the LRU way.
+        let victim = set
+            .iter_mut()
+            .min_by_key(|(_, last)| *last)
+            .expect("assoc > 0");
+        *victim = (tag, clock);
+        false
+    }
+
+    /// Probes without updating LRU or filling (for MSHR pre-checks, tests
+    /// and diagnostics).
+    pub fn probe(&self, addr: u64) -> bool {
+        let (set_idx, tag) = self.set_and_tag(addr);
+        self.sets[set_idx].iter().any(|(t, _)| *t == tag)
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// The cache's configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+}
+
+/// Which first-level structure an access is routed to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Route {
+    /// The multi-ported L1 data cache (LSQ side).
+    DataCache,
+    /// The Local Variable Cache (LVAQ side).
+    Lvc,
+}
+
+/// Per-cycle bandwidth state for one first-level structure, interpreting
+/// its [`PortModel`].
+#[derive(Clone, Debug)]
+struct BandwidthState {
+    model: PortModel,
+    line_bytes: u64,
+    /// TruePorts: accesses started this cycle.
+    used: usize,
+    /// Banked: bitmask of banks busy this cycle.
+    banks_busy: u64,
+    /// LineBuffered: array port used this cycle / buffer used this cycle.
+    array_used: bool,
+    buffer_used: bool,
+    /// LineBuffered: the line held by the buffer (persistent).
+    buffered_line: u64,
+    /// Conflicts observed (denied access starts).
+    conflicts: u64,
+}
+
+impl BandwidthState {
+    fn new(config: &CacheConfig) -> BandwidthState {
+        BandwidthState {
+            model: config.port_model,
+            line_bytes: config.line_bytes,
+            used: 0,
+            banks_busy: 0,
+            array_used: false,
+            buffer_used: false,
+            buffered_line: u64::MAX,
+            conflicts: 0,
+        }
+    }
+
+    fn new_cycle(&mut self) {
+        self.used = 0;
+        self.banks_busy = 0;
+        self.array_used = false;
+        self.buffer_used = false;
+    }
+
+    fn bank_of(&self, addr: u64) -> u64 {
+        let banks = match self.model {
+            PortModel::Banked { banks } => banks as u64,
+            _ => 1,
+        };
+        (addr / self.line_bytes) % banks
+    }
+
+    /// Whether an access to `addr` can start this cycle.
+    fn available(&self, addr: u64, ports: usize) -> bool {
+        match self.model {
+            PortModel::TruePorts(_) => self.used < ports,
+            PortModel::Banked { .. } => self.banks_busy & (1 << self.bank_of(addr)) == 0,
+            PortModel::LineBuffered => {
+                if addr / self.line_bytes == self.buffered_line {
+                    !self.buffer_used
+                } else {
+                    !self.array_used
+                }
+            }
+        }
+    }
+
+    /// Claims the bandwidth for an access to `addr`.
+    fn claim(&mut self, addr: u64) {
+        match self.model {
+            PortModel::TruePorts(_) => self.used += 1,
+            PortModel::Banked { .. } => self.banks_busy |= 1 << self.bank_of(addr),
+            PortModel::LineBuffered => {
+                if addr / self.line_bytes == self.buffered_line {
+                    self.buffer_used = true;
+                } else {
+                    self.array_used = true;
+                    self.buffered_line = addr / self.line_bytes;
+                }
+            }
+        }
+    }
+}
+
+/// The data-side memory hierarchy: L1 data cache (+ optional LVC), a
+/// shared L2, and main memory, with per-cycle bandwidth accounting and
+/// bounded MSHRs for the first-level structures.
+#[derive(Clone, Debug)]
+pub struct MemSystem {
+    dcache: Cache,
+    lvc: Option<Cache>,
+    l2: Cache,
+    memory_latency: u64,
+    dcache_bw: BandwidthState,
+    lvc_bw: Option<BandwidthState>,
+    mshr_cap: usize,
+    /// Release cycles of in-flight misses per route.
+    dcache_mshrs: Vec<u64>,
+    lvc_mshrs: Vec<u64>,
+    now: u64,
+}
+
+impl MemSystem {
+    /// Builds the hierarchy described by `config`.
+    pub fn new(config: &MachineConfig) -> MemSystem {
+        MemSystem {
+            dcache: Cache::new(config.dcache),
+            lvc: config.lvc.map(Cache::new),
+            l2: Cache::new(config.l2),
+            memory_latency: config.memory_latency,
+            dcache_bw: BandwidthState::new(&config.dcache),
+            lvc_bw: config.lvc.as_ref().map(BandwidthState::new),
+            mshr_cap: config.mshrs,
+            dcache_mshrs: Vec::new(),
+            lvc_mshrs: Vec::new(),
+            now: 0,
+        }
+    }
+
+    /// Starts a new cycle: all per-cycle bandwidth becomes free and
+    /// completed misses release their MSHRs.
+    pub fn new_cycle(&mut self) {
+        self.now += 1;
+        let now = self.now;
+        self.dcache_bw.new_cycle();
+        if let Some(bw) = &mut self.lvc_bw {
+            bw.new_cycle();
+        }
+        self.dcache_mshrs.retain(|&r| r > now);
+        self.lvc_mshrs.retain(|&r| r > now);
+    }
+
+    /// Whether an access to `addr` could start on `route` this cycle
+    /// (bandwidth only; MSHR availability is checked at access time, since
+    /// it only matters for misses).
+    pub fn port_available(&self, route: Route, addr: u64) -> bool {
+        match route {
+            Route::DataCache => self.dcache_bw.available(addr, self.dcache.config().ports),
+            Route::Lvc => match (&self.lvc, &self.lvc_bw) {
+                (Some(lvc), Some(bw)) => bw.available(addr, lvc.config().ports),
+                _ => false,
+            },
+        }
+    }
+
+    /// Attempts the access; returns its total latency, or `None` if it
+    /// would miss and no MSHR is free (the caller retries next cycle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no bandwidth is available (callers must check
+    /// [`Self::port_available`] first) or if `route` is [`Route::Lvc`] on a
+    /// machine without one.
+    pub fn access(&mut self, route: Route, addr: u64) -> Option<u64> {
+        assert!(
+            self.port_available(route, addr),
+            "no bandwidth on {route:?}"
+        );
+        // MSHR pre-check: a miss needs a free slot.
+        let (cache, mshrs) = match route {
+            Route::DataCache => (&self.dcache, &self.dcache_mshrs),
+            Route::Lvc => (
+                self.lvc.as_ref().expect("machine has an LVC"),
+                &self.lvc_mshrs,
+            ),
+        };
+        let will_hit = cache.probe(addr);
+        if !will_hit && mshrs.len() >= self.mshr_cap {
+            match route {
+                Route::DataCache => self.dcache_bw.conflicts += 1,
+                Route::Lvc => {
+                    if let Some(bw) = &mut self.lvc_bw {
+                        bw.conflicts += 1;
+                    }
+                }
+            }
+            return None;
+        }
+
+        let (l1_hit, l1_latency) = match route {
+            Route::DataCache => {
+                self.dcache_bw.claim(addr);
+                (self.dcache.access(addr), self.dcache.config().hit_latency)
+            }
+            Route::Lvc => {
+                self.lvc_bw.as_mut().expect("lvc bw").claim(addr);
+                let lvc = self.lvc.as_mut().expect("machine has an LVC");
+                (lvc.access(addr), lvc.config().hit_latency)
+            }
+        };
+        if l1_hit {
+            return Some(l1_latency);
+        }
+        let l2_latency = self.l2.config().hit_latency;
+        let total = if self.l2.access(addr) {
+            l1_latency + l2_latency
+        } else {
+            l1_latency + l2_latency + self.memory_latency
+        };
+        let release = self.now + total;
+        match route {
+            Route::DataCache => self.dcache_mshrs.push(release),
+            Route::Lvc => self.lvc_mshrs.push(release),
+        }
+        Some(total)
+    }
+
+    /// L1 data-cache statistics.
+    pub fn dcache_stats(&self) -> CacheStats {
+        self.dcache.stats()
+    }
+
+    /// LVC statistics, if present.
+    pub fn lvc_stats(&self) -> Option<CacheStats> {
+        self.lvc.as_ref().map(Cache::stats)
+    }
+
+    /// L2 statistics.
+    pub fn l2_stats(&self) -> CacheStats {
+        self.l2.stats()
+    }
+
+    /// Bandwidth-denied access starts on the data cache (bank conflicts,
+    /// MSHR exhaustion).
+    pub fn dcache_conflicts(&self) -> u64 {
+        self.dcache_bw.conflicts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cache(assoc: usize) -> Cache {
+        Cache::new(CacheConfig {
+            size_bytes: 128,
+            assoc,
+            line_bytes: 32,
+            hit_latency: 1,
+            ports: 1,
+            port_model: PortModel::TruePorts(1),
+        })
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = small_cache(2);
+        assert!(!c.access(0x1000));
+        assert!(c.access(0x1000));
+        assert!(c.access(0x101f), "same 32-byte line");
+        assert!(!c.access(0x1020), "next line misses");
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_replacement() {
+        // 128 B, 2-way, 32 B lines → 2 sets. Set 0 holds even blocks.
+        let mut c = small_cache(2);
+        c.access(0); // set 0, tag 0
+        c.access(64); // set 0, tag 1
+        assert!(c.probe(0));
+        c.access(0); // touch tag 0 (now MRU)
+        c.access(128); // third tag in set 0 → evicts tag 1
+        assert!(c.probe(0), "MRU survives");
+        assert!(!c.probe(64), "LRU evicted");
+    }
+
+    #[test]
+    fn direct_mapped_conflicts() {
+        let mut c = small_cache(1); // 4 sets
+        assert!(!c.access(0));
+        assert!(!c.access(128)); // same set, different tag
+        assert!(!c.access(0), "conflict evicted the first line");
+    }
+
+    #[test]
+    fn hierarchy_latencies() {
+        let config = MachineConfig::baseline_2_0();
+        let mut m = MemSystem::new(&config);
+        m.new_cycle();
+        // Cold: L1 miss + L2 miss → 2 + 12 + 50.
+        assert_eq!(m.access(Route::DataCache, 0x2000_0000), Some(64));
+        m.new_cycle();
+        // Warm L1.
+        assert_eq!(m.access(Route::DataCache, 0x2000_0000), Some(2));
+        assert_eq!(m.dcache_stats().accesses(), 2);
+    }
+
+    #[test]
+    fn l2_catches_l1_evictions() {
+        let config = MachineConfig::baseline_2_0();
+        let mut m = MemSystem::new(&config);
+        // Lines that conflict in L1 (64KB 2-way, 32B lines → 1024 sets;
+        // a 32KB stride maps to the same set) but coexist in L2 (4-way).
+        let a = 0x2000_0000u64;
+        let stride = 32 * 1024;
+        m.new_cycle();
+        m.access(Route::DataCache, a);
+        m.access(Route::DataCache, a + stride);
+        m.new_cycle();
+        m.access(Route::DataCache, a + 2 * stride); // evicts `a` from L1
+        m.new_cycle();
+        assert_eq!(
+            m.access(Route::DataCache, a),
+            Some(2 + 12),
+            "L1 miss, L2 hit"
+        );
+    }
+
+    #[test]
+    fn true_ports_are_consumed_per_cycle() {
+        let config = MachineConfig::baseline_2_0(); // 2 ports
+        let mut m = MemSystem::new(&config);
+        m.new_cycle();
+        assert!(m.port_available(Route::DataCache, 0));
+        m.access(Route::DataCache, 0);
+        m.access(Route::DataCache, 64);
+        assert!(!m.port_available(Route::DataCache, 128));
+        m.new_cycle();
+        assert!(m.port_available(Route::DataCache, 128));
+        // No LVC on a conventional machine.
+        assert!(!m.port_available(Route::Lvc, 0));
+    }
+
+    #[test]
+    fn banked_cache_conflicts_on_same_bank() {
+        let mut config = MachineConfig::baseline_2_0();
+        config.dcache = config.dcache.with_banks(4);
+        let mut m = MemSystem::new(&config);
+        m.new_cycle();
+        // Two addresses in the same bank (same line index mod 4).
+        assert!(m.port_available(Route::DataCache, 0));
+        m.access(Route::DataCache, 0);
+        assert!(
+            !m.port_available(Route::DataCache, 4 * 32),
+            "bank 0 is busy"
+        );
+        // A different bank is fine; up to 4 distinct banks per cycle.
+        assert!(m.port_available(Route::DataCache, 32));
+        m.access(Route::DataCache, 32);
+        m.access(Route::DataCache, 64);
+        m.access(Route::DataCache, 96);
+        assert!(!m.port_available(Route::DataCache, 128), "all banks busy");
+    }
+
+    #[test]
+    fn line_buffer_serves_repeat_lines_for_free() {
+        let mut config = MachineConfig::baseline_2_0();
+        config.dcache = config.dcache.with_line_buffer();
+        let mut m = MemSystem::new(&config);
+        m.new_cycle();
+        m.access(Route::DataCache, 0x1000); // array port + installs line
+        assert!(
+            m.port_available(Route::DataCache, 0x1008),
+            "same line → buffer"
+        );
+        m.access(Route::DataCache, 0x1008);
+        assert!(
+            !m.port_available(Route::DataCache, 0x1010),
+            "buffer also used now"
+        );
+        assert!(
+            !m.port_available(Route::DataCache, 0x2000),
+            "array port used"
+        );
+        m.new_cycle();
+        // Buffer persists across cycles.
+        assert!(m.port_available(Route::DataCache, 0x1018));
+    }
+
+    #[test]
+    fn mshrs_bound_outstanding_misses() {
+        let mut config = MachineConfig::baseline_2_0();
+        config.mshrs = 1;
+        config.dcache.ports = 4;
+        config.dcache.port_model = PortModel::TruePorts(4);
+        let mut m = MemSystem::new(&config);
+        m.new_cycle();
+        assert!(m.access(Route::DataCache, 0x2000_0000).is_some()); // miss
+        assert_eq!(
+            m.access(Route::DataCache, 0x3000_0000),
+            None,
+            "second miss has no MSHR"
+        );
+        // A hit is still fine.
+        assert_eq!(m.access(Route::DataCache, 0x2000_0010), Some(2));
+        // After the miss resolves (64 cycles), the MSHR frees.
+        for _ in 0..64 {
+            m.new_cycle();
+        }
+        assert!(m.access(Route::DataCache, 0x3000_0000).is_some());
+    }
+
+    #[test]
+    fn lvc_is_fast_and_separate() {
+        let config = MachineConfig::decoupled(2, 2);
+        let mut m = MemSystem::new(&config);
+        m.new_cycle();
+        let sp = 0x7fff_e000u64;
+        assert_eq!(m.access(Route::Lvc, sp), Some(1 + 12 + 50));
+        m.new_cycle();
+        assert_eq!(m.access(Route::Lvc, sp), Some(1));
+        assert_eq!(m.lvc_stats().unwrap().accesses(), 2);
+        assert_eq!(m.dcache_stats().accesses(), 0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Shared code-generation idioms for the workload builders.
+
+use arl_asm::{FunctionBuilder, Label};
+use arl_isa::{BranchCond, Gpr};
+
+/// Emits `addr = base + (idx << shift)` using `tmp` as scratch — the
+/// computed-pointer array indexing a compiler generates, whose base register
+/// reveals nothing to the static heuristics (rule 4).
+pub(crate) fn index_addr(
+    f: &mut FunctionBuilder,
+    addr: Gpr,
+    base: Gpr,
+    idx: Gpr,
+    shift: i16,
+    tmp: Gpr,
+) {
+    f.slli(tmp, idx, shift);
+    f.add(addr, base, tmp);
+}
+
+/// Emits `call variants[selector]` as a balanced compare-and-branch tree —
+/// the code a compiler generates for a switch whose arms are direct calls.
+/// `selector` must already lie in `0..variants.len()` and must be a
+/// register that survives calls if reused afterwards.
+pub(crate) fn dispatch_call(f: &mut FunctionBuilder, selector: Gpr, tmp: Gpr, variants: &[String]) {
+    assert!(!variants.is_empty());
+    let end = f.new_label();
+    emit_dispatch_range(f, selector, tmp, variants, 0, variants.len(), end);
+    f.bind(end);
+}
+
+fn emit_dispatch_range(
+    f: &mut FunctionBuilder,
+    selector: Gpr,
+    tmp: Gpr,
+    variants: &[String],
+    lo: usize,
+    hi: usize,
+    end: Label,
+) {
+    if hi - lo == 1 {
+        f.call(&variants[lo]);
+        f.j(end);
+        return;
+    }
+    let mid = (lo + hi) / 2;
+    let right = f.new_label();
+    f.li(tmp, mid as i64);
+    f.br(BranchCond::Ge, selector, tmp, right);
+    emit_dispatch_range(f, selector, tmp, variants, lo, mid, end);
+    f.bind(right);
+    emit_dispatch_range(f, selector, tmp, variants, mid, hi, end);
+}
+
+/// Adds a family of `count` *cold* framed functions — table initializers,
+/// option parsers, error-path helpers — each executed once from `main`'s
+/// startup. Real binaries owe most of their static memory-instruction
+/// footprint (and their Figure 2 stack-only share) to such code. Each
+/// function has a small frame it actually uses, plus one computed
+/// data-region store into `scratch` (so cold rule-4 instructions appear in
+/// the ARPT exactly once, as cold code does).
+///
+/// Returns the function names; call [`emit_cold_init`] in `main` to invoke
+/// them.
+pub(crate) fn add_cold_functions(
+    pb: &mut arl_asm::ProgramBuilder,
+    prefix: &str,
+    count: usize,
+    scratch: arl_asm::GlobalRef,
+) -> Vec<String> {
+    let names: Vec<String> = (0..count).map(|k| format!("{prefix}_{k}")).collect();
+    for (k, name) in names.iter().enumerate() {
+        let mut f = FunctionBuilder::new(name);
+        let a = f.local(8);
+        let b = f.local(8);
+        f.li(Gpr::T0, k as i64 * 3 + 1);
+        f.store_local(Gpr::T0, a, 0);
+        f.slli(Gpr::T1, Gpr::T0, 2);
+        f.store_local(Gpr::T1, b, 0);
+        f.load_local(Gpr::T2, a, 0);
+        f.load_local(Gpr::T3, b, 0);
+        f.add(Gpr::T2, Gpr::T2, Gpr::T3);
+        // One computed data-region store (rule-4, executed once).
+        f.la_global(Gpr::T4, scratch);
+        f.andi(Gpr::T5, Gpr::T2, (scratch.size() as i16 / 8 - 1).max(0));
+        index_addr(&mut f, Gpr::T6, Gpr::T4, Gpr::T5, 3, Gpr::T7);
+        f.store_ptr(Gpr::T2, Gpr::T6, 0, arl_asm::Provenance::StaticVar);
+        if k % 8 == 0 {
+            // Every eighth initializer is a generic pointer utility (the
+            // memcpy/strlen flavour of cold code): one static load walks a
+            // pointer that targets the data region on its first trip and
+            // the frame on its second — a genuine multi-region
+            // instruction, as Figure 2 finds scattered through real code.
+            let top = f.new_label();
+            let done = f.new_label();
+            f.li(Gpr::T1, 0); // trip counter
+            f.bind(top);
+            f.load_ptr(Gpr::T3, Gpr::T4, 0, arl_asm::Provenance::Mixed);
+            f.add(Gpr::T2, Gpr::T2, Gpr::T3);
+            f.addi(Gpr::T1, Gpr::T1, 1);
+            f.li(Gpr::T5, 2);
+            f.br(BranchCond::Ge, Gpr::T1, Gpr::T5, done);
+            f.addr_of_local(Gpr::T4, b, 0); // second trip reads the frame
+            f.j(top);
+            f.bind(done);
+        }
+        f.store_local(Gpr::T2, a, 0);
+        f.load_local(Gpr::V0, a, 0);
+        pb.add_function(f);
+    }
+    names
+}
+
+/// Calls each cold function once (startup initialization).
+pub(crate) fn emit_cold_init(f: &mut FunctionBuilder, names: &[String]) {
+    for name in names {
+        f.call(name);
+    }
+}
+
+/// Emits a counted loop: `for counter in 0..limit_reg { body }`.
+/// The body must not clobber `counter` or `limit`.
+pub(crate) fn counted_loop(
+    f: &mut FunctionBuilder,
+    counter: Gpr,
+    limit: Gpr,
+    body: impl FnOnce(&mut FunctionBuilder),
+) {
+    f.li(counter, 0);
+    let top = f.new_label();
+    let done = f.new_label();
+    f.bind(top);
+    f.br(BranchCond::Ge, counter, limit, done);
+    body(f);
+    f.addi(counter, counter, 1);
+    f.j(top);
+    f.bind(done);
+}
+
+/// Emits a counted loop with an immediate trip count.
+pub(crate) fn counted_loop_imm(
+    f: &mut FunctionBuilder,
+    counter: Gpr,
+    limit: Gpr,
+    trips: i64,
+    body: impl FnOnce(&mut FunctionBuilder),
+) {
+    f.li(limit, trips);
+    counted_loop(f, counter, limit, body);
+}

@@ -1,0 +1,167 @@
+//! `compress` — analog of 129.compress.
+//!
+//! An LZW-style encoder: a tight main loop streaming bytes from a global
+//! input buffer and probing/filling global hash and code tables. Almost all
+//! traffic is data-region through computed pointers; calls (and thus stack
+//! traffic) are rare — matching 129.compress's extreme D ≈ 9.9 vs S ≈ 1.1
+//! per-32 signature with essentially no heap.
+
+use arl_asm::{FunctionBuilder, Program, ProgramBuilder, Provenance};
+use arl_isa::{BranchCond, Gpr};
+
+use crate::common::{add_cold_functions, counted_loop_imm, emit_cold_init, index_addr};
+use crate::suite::Scale;
+
+const INPUT_BYTES: i64 = 4096;
+const TABLE: i64 = 2048; // htab+codetab fit the 64 KB L1, as compress largely did
+
+pub(crate) fn build(scale: Scale) -> Program {
+    let mut pb = ProgramBuilder::new();
+    // Pseudo-text input: byte distribution with repeats so probes hit.
+    let input: Vec<u8> = (0..INPUT_BYTES)
+        .map(|i| (((i * 131) ^ (i >> 3)) % 64 + 32) as u8)
+        .collect();
+    let g_input = pb.global_bytes("input", &input);
+    let g_htab = pb.global_zeroed("htab", TABLE as u64 * 8);
+    let g_codetab = pb.global_zeroed("codetab", TABLE as u64 * 8);
+    let g_freq = pb.global_zeroed("freq", 256 * 8);
+    let g_outbuf = pb.global_zeroed("outbuf", 1024 * 8);
+    let g_outcount = pb.global_zeroed("outcount", 8);
+
+    // flush_stats(): rare bookkeeping call — the only steady source of
+    // stack traffic, as in the original's output path.
+    let mut flush = FunctionBuilder::new("flush_stats");
+    {
+        let f = &mut flush;
+        let tmp = f.local(8);
+        f.load_global(Gpr::T0, g_outcount, 0);
+        f.store_local(Gpr::T0, tmp, 0);
+        f.load_local(Gpr::T1, tmp, 0);
+        f.addi(Gpr::T1, Gpr::T1, 1);
+        f.store_global(Gpr::T1, g_outcount, 0);
+        f.mov(Gpr::V0, Gpr::T1);
+    }
+    pb.add_function(flush);
+
+    let g_cold_scratch = pb.global_zeroed("cold_scratch", 64 * 8);
+    // Cold startup code (init_tables_*): the bulk of a real binary's
+    // static footprint is such once-executed framed code.
+    let cold = add_cold_functions(&mut pb, "init_tables", 70, g_cold_scratch);
+
+    let mut main = FunctionBuilder::new("main");
+    {
+        let f = &mut main;
+        f.save(&[
+            Gpr::S0,
+            Gpr::S1,
+            Gpr::S2,
+            Gpr::S3,
+            Gpr::S4,
+            Gpr::S5,
+            Gpr::S6,
+        ]);
+        emit_cold_init(f, &cold);
+        // S3 = input base, S4 = htab base, S5 = codetab base.
+        f.la_global(Gpr::S3, g_input);
+        f.la_global(Gpr::S4, g_htab);
+        f.la_global(Gpr::S5, g_codetab);
+        f.li(Gpr::S1, 0); // running prefix code, stream A
+        f.li(Gpr::S6, 0); // running prefix code, stream B
+        let iters = scale.apply(30_000);
+        counted_loop_imm(f, Gpr::S0, Gpr::S2, iters, |f| {
+            // Two independent symbol streams per iteration (block-based
+            // compression): stream A over the low half of the input, stream
+            // B over the high half, with disjoint hash-table halves — so
+            // the machine has two dependence chains to overlap.
+            for (ent, base_off, tab_off, out_off) in [
+                (Gpr::S1, 0i16, 0i64, 0i64),
+                (Gpr::S6, (INPUT_BYTES / 2) as i16, TABLE / 2, 512),
+            ] {
+                // c = input[half + (i & (INPUT_BYTES/2-1))]
+                f.andi(Gpr::T0, Gpr::S0, (INPUT_BYTES / 2 - 1) as i16);
+                f.add(Gpr::T1, Gpr::S3, Gpr::T0);
+                f.load_ptr_b(Gpr::T2, Gpr::T1, base_off, Provenance::StaticVar);
+                // h = half_base + (((ent << 5) ^ c) & (TABLE/2-1))
+                f.slli(Gpr::T3, ent, 5);
+                f.xor(Gpr::T3, Gpr::T3, Gpr::T2);
+                f.andi(Gpr::T3, Gpr::T3, (TABLE / 2 - 1) as i16);
+                f.addi(Gpr::T3, Gpr::T3, tab_off as i16);
+                // probe htab[h]
+                index_addr(f, Gpr::T4, Gpr::S4, Gpr::T3, 3, Gpr::T5);
+                f.load_ptr(Gpr::T6, Gpr::T4, 0, Provenance::StaticVar);
+                // key = (ent << 8) | c
+                f.slli(Gpr::T7, ent, 8);
+                f.or(Gpr::T7, Gpr::T7, Gpr::T2);
+                let hit = f.new_label();
+                let cont = f.new_label();
+                f.br(BranchCond::Eq, Gpr::T6, Gpr::T7, hit);
+                // Miss: secondary probe (h+1), then install.
+                f.addi(Gpr::T3, Gpr::T3, 1);
+                index_addr(f, Gpr::T4, Gpr::S4, Gpr::T3, 3, Gpr::T5);
+                f.load_ptr(Gpr::T6, Gpr::T4, 0, Provenance::StaticVar);
+                f.br(BranchCond::Eq, Gpr::T6, Gpr::T7, hit);
+                // Install new code: htab[h] = key; codetab[h] = ent.
+                f.store_ptr(Gpr::T7, Gpr::T4, 0, Provenance::StaticVar);
+                index_addr(f, Gpr::T4, Gpr::S5, Gpr::T3, 3, Gpr::T5);
+                f.store_ptr(ent, Gpr::T4, 0, Provenance::StaticVar);
+                // ent = c
+                f.mov(ent, Gpr::T2);
+                f.j(cont);
+                // Hit: extend the prefix: ent = codetab[h] + c.
+                f.bind(hit);
+                index_addr(f, Gpr::T4, Gpr::S5, Gpr::T3, 3, Gpr::T5);
+                f.load_ptr(Gpr::T6, Gpr::T4, 0, Provenance::StaticVar);
+                f.add(ent, Gpr::T6, Gpr::T2);
+                f.andi(ent, ent, (TABLE - 1) as i16);
+                f.bind(cont);
+                // Symbol frequency update (data RMW), as compress's byteout
+                // statistics do.
+                f.la_global(Gpr::T4, g_freq);
+                index_addr(f, Gpr::T5, Gpr::T4, Gpr::T2, 3, Gpr::T6);
+                f.load_ptr(Gpr::T7, Gpr::T5, 0, Provenance::StaticVar);
+                f.addi(Gpr::T7, Gpr::T7, 1);
+                f.store_ptr(Gpr::T7, Gpr::T5, 0, Provenance::StaticVar);
+                // Emit the current code to the output buffer (data store).
+                f.andi(Gpr::T0, Gpr::S0, 511);
+                f.la_global(Gpr::T4, g_outbuf);
+                index_addr(f, Gpr::T5, Gpr::T4, Gpr::T0, 3, Gpr::T6);
+                f.store_ptr(ent, Gpr::T5, out_off as i16 * 8, Provenance::StaticVar);
+            }
+            // Every 8 symbols, flush output stats (a call).
+            f.andi(Gpr::T0, Gpr::S0, 7);
+            let noflush = f.new_label();
+            f.bnez(Gpr::T0, noflush);
+            f.call("flush_stats");
+            f.bind(noflush);
+        });
+        f.load_global(Gpr::A0, g_outcount, 0);
+        f.syscall(arl_isa::Syscall::PrintInt);
+    }
+    pb.add_function(main);
+
+    pb.link("main").expect("compress workload links")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arl_mem::Region;
+    use arl_sim::{Machine, SlidingWindowProfiler};
+
+    #[test]
+    fn compress_is_data_dominant() {
+        let p = build(Scale::tiny());
+        let mut m = Machine::new(&p);
+        let mut w = SlidingWindowProfiler::new();
+        let outcome = m.run_with(50_000_000, |e| w.observe(e)).expect("executes");
+        assert!(outcome.exited);
+        let s = &w.stats()[0]; // window 32
+        assert!(
+            s.mean(Region::Data) > 3.0 * s.mean(Region::Stack),
+            "data traffic must dominate stack: D={} S={}",
+            s.mean(Region::Data),
+            s.mean(Region::Stack)
+        );
+        assert!(s.mean(Region::Heap) < 0.01, "no heap traffic");
+    }
+}

@@ -1,0 +1,286 @@
+//! `gcc` — analog of 126.gcc.
+//!
+//! A miniature compiler front end: lexing over a global source buffer and
+//! global token tables (data region), a recursive-descent parser building
+//! expression nodes on the heap, and recursive constant-folding and
+//! tree-release passes — matching 126.gcc's stack-dominant
+//! S ≈ 6.5 > D ≈ 3.5 > H ≈ 1.7 per-32 signature with bursty data traffic.
+//!
+//! 126.gcc has the largest code footprint in the paper's Table 3 (≈10.5k
+//! static memory instructions): its lexer, insn patterns and folders are
+//! huge generated function families. This analog mirrors that with 48
+//! lexer-class functions (`lex_0..=47`) and 96 folding variants
+//! (`fold_0..=95`), dispatched the way gcc dispatches on tree codes.
+
+use arl_asm::{FunctionBuilder, Program, ProgramBuilder, Provenance};
+use arl_isa::{Gpr, Syscall};
+
+use crate::common::{
+    add_cold_functions, counted_loop_imm, dispatch_call, emit_cold_init, index_addr,
+};
+use crate::suite::Scale;
+
+const SRC_BYTES: i64 = 2048;
+const KINDS: i64 = 256;
+const LEX_VARIANTS: usize = 48;
+const FOLD_VARIANTS: usize = 96;
+
+/// AST node layout on the heap: { kind: i64, value: i64, left: ptr, right: ptr }.
+const NODE_BYTES: i64 = 32;
+
+pub(crate) fn build(scale: Scale) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let src: Vec<u8> = (0..SRC_BYTES)
+        .map(|i| (((i * 37) ^ (i >> 2) ^ 0x55) % 96 + 32) as u8)
+        .collect();
+    let kinds: Vec<i64> = (0..KINDS).map(|c| c % 7).collect();
+    let g_src = pb.global_bytes("source", &src);
+    let g_kinds = pb.global_words("kinds", &kinds);
+
+    // lex_k(a0 = pos) -> v0 = token kind: leaf lexer-class functions, each
+    // with its own second-level table rotation (gcc's char-class + keyword
+    // lookups).
+    let lex_names: Vec<String> = (0..LEX_VARIANTS).map(|k| format!("lex_{k}")).collect();
+    for (k, name) in lex_names.iter().enumerate() {
+        let mut lex = FunctionBuilder::new(name);
+        let f = &mut lex;
+        f.set_leaf();
+        f.andi(Gpr::T0, Gpr::A0, (SRC_BYTES - 1) as i16);
+        f.la_global(Gpr::T1, g_src);
+        f.add(Gpr::T2, Gpr::T1, Gpr::T0);
+        f.load_ptr_b(Gpr::T3, Gpr::T2, 0, Provenance::StaticVar);
+        f.la_global(Gpr::T4, g_kinds);
+        index_addr(f, Gpr::T5, Gpr::T4, Gpr::T3, 3, Gpr::T6);
+        f.load_ptr(Gpr::T7, Gpr::T5, 0, Provenance::StaticVar);
+        f.addi(Gpr::T7, Gpr::T7, (k as i16) + 1);
+        f.andi(Gpr::T7, Gpr::T7, (KINDS - 1) as i16);
+        index_addr(f, Gpr::T5, Gpr::T4, Gpr::T7, 3, Gpr::T6);
+        f.load_ptr(Gpr::V0, Gpr::T5, 0, Provenance::StaticVar);
+        if k % 2 == 1 {
+            // Keyword probe for the odd classes.
+            f.andi(Gpr::T7, Gpr::V0, (KINDS - 1) as i16);
+            index_addr(f, Gpr::T5, Gpr::T4, Gpr::T7, 3, Gpr::T6);
+            f.load_ptr(Gpr::T3, Gpr::T5, 0, Provenance::StaticVar);
+            f.add(Gpr::V0, Gpr::V0, Gpr::T3);
+        }
+        f.add(Gpr::V0, Gpr::V0, Gpr::T7);
+        pb.add_function(lex);
+    }
+
+    // mknode(a0 = kind, a1 = value, a2 = left, a3 = right) -> v0.
+    // A frameless leaf: `malloc` is a syscall, so nothing needs saving.
+    let mut mknode = FunctionBuilder::new("mknode");
+    {
+        let f = &mut mknode;
+        f.set_leaf();
+        f.mov(Gpr::T8, Gpr::A0); // malloc_imm clobbers a0
+        f.malloc_imm(NODE_BYTES);
+        f.store_ptr(Gpr::T8, Gpr::V0, 0, Provenance::HeapBlock);
+        f.store_ptr(Gpr::A1, Gpr::V0, 8, Provenance::HeapBlock);
+        f.store_ptr(Gpr::A2, Gpr::V0, 16, Provenance::HeapBlock);
+        f.store_ptr(Gpr::A3, Gpr::V0, 24, Provenance::HeapBlock);
+    }
+    pb.add_function(mknode);
+
+    // parse(a0 = pos, a1 = depth) -> v0 = tree: recursive descent,
+    // dispatching to the lexer class of the current position.
+    let mut parse = FunctionBuilder::new("parse");
+    {
+        let f = &mut parse;
+        f.save(&[Gpr::S0, Gpr::S1, Gpr::S2, Gpr::S3]);
+        let left_slot = f.local(8);
+        f.mov(Gpr::S0, Gpr::A0); // pos
+        f.mov(Gpr::S1, Gpr::A1); // depth
+                                 // Lexer class for this position.
+        f.li(Gpr::T0, LEX_VARIANTS as i64);
+        f.rem(Gpr::S3, Gpr::S0, Gpr::T0);
+        let inner = f.new_label();
+        f.bnez(Gpr::S1, inner);
+        // Leaf: peek then consume; node = mknode(kind, pos, nil, nil).
+        f.mov(Gpr::A0, Gpr::S0);
+        dispatch_call(f, Gpr::S3, Gpr::T1, &lex_names); // peek
+        f.addi(Gpr::A0, Gpr::S0, 1);
+        dispatch_call(f, Gpr::S3, Gpr::T1, &lex_names); // consume
+        f.mov(Gpr::A0, Gpr::V0);
+        f.mov(Gpr::A1, Gpr::S0);
+        f.li(Gpr::A2, 0);
+        f.li(Gpr::A3, 0);
+        f.call("mknode");
+        f.ret();
+        f.bind(inner);
+        // left = parse(pos*2+1, depth-1)
+        f.slli(Gpr::A0, Gpr::S0, 1);
+        f.addi(Gpr::A0, Gpr::A0, 1);
+        f.addi(Gpr::A1, Gpr::S1, -1);
+        f.call("parse");
+        f.store_local(Gpr::V0, left_slot, 0);
+        // right = parse(pos*2+2, depth-1)
+        f.slli(Gpr::A0, Gpr::S0, 1);
+        f.addi(Gpr::A0, Gpr::A0, 2);
+        f.addi(Gpr::A1, Gpr::S1, -1);
+        f.call("parse");
+        f.mov(Gpr::S2, Gpr::V0);
+        // op kind = lex(pos); precedence lookup refines it (data load).
+        f.mov(Gpr::A0, Gpr::S0);
+        dispatch_call(f, Gpr::S3, Gpr::T1, &lex_names);
+        f.andi(Gpr::T0, Gpr::V0, (KINDS - 1) as i16);
+        f.la_global(Gpr::T1, g_kinds);
+        index_addr(f, Gpr::T2, Gpr::T1, Gpr::T0, 3, Gpr::T3);
+        f.load_ptr(Gpr::T4, Gpr::T2, 0, Provenance::StaticVar);
+        f.add(Gpr::A0, Gpr::V0, Gpr::T4);
+        f.li(Gpr::A1, 0);
+        f.load_local(Gpr::A2, left_slot, 0);
+        f.mov(Gpr::A3, Gpr::S2);
+        f.call("mknode");
+    }
+    pb.add_function(parse);
+
+    // fold_k(a0 = node) -> v0: recursive constant folding, one variant per
+    // tree-code family (each recurses into itself, as gcc's fold does
+    // through its case analysis).
+    let fold_names: Vec<String> = (0..FOLD_VARIANTS).map(|k| format!("fold_{k}")).collect();
+    for (k, name) in fold_names.iter().enumerate() {
+        let mut fold = FunctionBuilder::new(name);
+        let f = &mut fold;
+        f.save(&[Gpr::S0, Gpr::S1]);
+        let nonnil = f.new_label();
+        f.bnez(Gpr::A0, nonnil);
+        f.li(Gpr::V0, k as i64 & 0xff);
+        f.ret();
+        f.bind(nonnil);
+        f.mov(Gpr::S0, Gpr::A0);
+        f.load_ptr(Gpr::A0, Gpr::S0, 16, Provenance::HeapBlock); // left
+        f.call(name);
+        f.mov(Gpr::S1, Gpr::V0);
+        f.load_ptr(Gpr::A0, Gpr::S0, 24, Provenance::HeapBlock); // right
+        f.call(name);
+        f.add(Gpr::T0, Gpr::S1, Gpr::V0);
+        f.load_ptr(Gpr::T1, Gpr::S0, 0, Provenance::HeapBlock); // kind
+        f.add(Gpr::T0, Gpr::T0, Gpr::T1);
+        if k % 4 == 0 {
+            // Some tree codes re-read the prior value.
+            f.load_ptr(Gpr::T2, Gpr::S0, 8, Provenance::HeapBlock);
+            f.add(Gpr::T0, Gpr::T0, Gpr::T2);
+        }
+        f.addi(Gpr::T0, Gpr::T0, k as i16);
+        f.andi(Gpr::T0, Gpr::T0, 0xfff);
+        f.store_ptr(Gpr::T0, Gpr::S0, 8, Provenance::HeapBlock); // value
+        f.mov(Gpr::V0, Gpr::T0);
+        pb.add_function(fold);
+    }
+
+    // release(a0 = node): recursive post-order free.
+    let mut release = FunctionBuilder::new("release");
+    {
+        let f = &mut release;
+        f.save(&[Gpr::S0]);
+        let nonnil = f.new_label();
+        f.bnez(Gpr::A0, nonnil);
+        f.ret();
+        f.bind(nonnil);
+        f.mov(Gpr::S0, Gpr::A0);
+        f.load_ptr(Gpr::A0, Gpr::S0, 16, Provenance::HeapBlock);
+        f.call("release");
+        f.load_ptr(Gpr::A0, Gpr::S0, 24, Provenance::HeapBlock);
+        f.call("release");
+        f.mov(Gpr::A0, Gpr::S0);
+        f.syscall(Syscall::Free);
+    }
+    pb.add_function(release);
+
+    // tokenize_pass(a0 = start pos) -> v0: a scan-only phase (gcc's
+    // preprocessing) — dense data traffic, no allocation.
+    let mut tokenize = FunctionBuilder::new("tokenize_pass");
+    {
+        let f = &mut tokenize;
+        f.save(&[Gpr::S0, Gpr::S1, Gpr::S2, Gpr::S3]);
+        f.mov(Gpr::S2, Gpr::A0);
+        f.li(Gpr::S3, 0);
+        counted_loop_imm(f, Gpr::S0, Gpr::S1, 64, |f| {
+            f.add(Gpr::A0, Gpr::S2, Gpr::S0);
+            f.li(Gpr::T0, LEX_VARIANTS as i64);
+            f.rem(Gpr::T2, Gpr::S0, Gpr::T0);
+            dispatch_call(f, Gpr::T2, Gpr::T1, &lex_names);
+            f.add(Gpr::S3, Gpr::S3, Gpr::V0);
+        });
+        f.mov(Gpr::V0, Gpr::S3);
+    }
+    pb.add_function(tokenize);
+
+    // main: tokenize / parse / fold / release a stream of small functions.
+    let g_cold_scratch = pb.global_zeroed("cold_scratch", 64 * 8);
+    // Cold startup code (init_lang_*): the bulk of a real binary's
+    // static footprint is such once-executed framed code.
+    let cold = add_cold_functions(&mut pb, "init_lang", 1100, g_cold_scratch);
+
+    let mut main = FunctionBuilder::new("main");
+    {
+        let f = &mut main;
+        f.save(&[Gpr::S0, Gpr::S1, Gpr::S2, Gpr::S3, Gpr::S4]);
+        emit_cold_init(f, &cold);
+        let iters = scale.apply(550);
+        f.li(Gpr::S3, 0);
+        counted_loop_imm(f, Gpr::S0, Gpr::S2, iters, |f| {
+            // Preprocessing scan over this function's source window.
+            f.li(Gpr::T0, 977);
+            f.mul(Gpr::A0, Gpr::S0, Gpr::T0);
+            f.andi(Gpr::A0, Gpr::A0, (SRC_BYTES - 1) as i16);
+            f.call("tokenize_pass");
+            f.add(Gpr::S3, Gpr::S3, Gpr::V0);
+            f.li(Gpr::T0, 977);
+            f.mul(Gpr::A0, Gpr::S0, Gpr::T0);
+            f.andi(Gpr::A0, Gpr::A0, (SRC_BYTES - 1) as i16);
+            f.li(Gpr::A1, 4); // parse depth → 31 nodes
+            f.call("parse");
+            f.mov(Gpr::S1, Gpr::V0);
+            // Fold with the tree-code variant for this "function".
+            f.li(Gpr::T0, FOLD_VARIANTS as i64);
+            f.rem(Gpr::S4, Gpr::S0, Gpr::T0);
+            f.mov(Gpr::A0, Gpr::S1);
+            dispatch_call(f, Gpr::S4, Gpr::T1, &fold_names);
+            f.add(Gpr::S3, Gpr::S3, Gpr::V0);
+            f.mov(Gpr::A0, Gpr::S1);
+            f.call("release");
+        });
+        f.andi(Gpr::A0, Gpr::S3, 0x7fff);
+        f.syscall(Syscall::PrintInt);
+    }
+    pb.add_function(main);
+
+    pb.link("main").expect("gcc workload links")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arl_mem::Region;
+    use arl_sim::{Machine, SlidingWindowProfiler};
+
+    #[test]
+    fn gcc_is_stack_dominant_with_some_heap() {
+        let p = build(Scale::tiny());
+        let mut m = Machine::new(&p);
+        let mut w = SlidingWindowProfiler::new();
+        let outcome = m.run_with(50_000_000, |e| w.observe(e)).expect("executes");
+        assert!(outcome.exited);
+        let s = &w.stats()[0];
+        let (d, h, st) = (
+            s.mean(Region::Data),
+            s.mean(Region::Heap),
+            s.mean(Region::Stack),
+        );
+        assert!(st > d && st > h, "stack dominates: D={d} H={h} S={st}");
+        assert!(h > 0.2, "parser allocates on the heap: H={h}");
+        assert!(d > 0.2, "lexer reads the data region: D={d}");
+    }
+
+    #[test]
+    fn gcc_has_the_largest_static_footprint() {
+        let p = build(Scale::tiny());
+        let static_mem = p.static_mem_instructions().count();
+        assert!(
+            static_mem > 900,
+            "lexer + folder families must give gcc a big footprint: {static_mem}"
+        );
+    }
+}

@@ -1,0 +1,216 @@
+//! `go` — analog of 099.go.
+//!
+//! A game-tree searcher: a global board, pattern and edge tables (data
+//! region), a recursive `search` over candidate moves (stack region, bursty
+//! with call depth), and **no heap at all** — matching 099.go's signature
+//! in Tables 1/2 (D ≈ 6.1, H = 0, S ≈ 3.6 per 32; stack strictly bursty).
+//!
+//! Like the real 099.go — whose pattern matchers compile to one of the
+//! largest SPEC95 code footprints (≈7.9k static memory instructions in the
+//! paper's Table 3) — the evaluator is a *family of position-class
+//! specialized functions* (`eval_pos_0..=95`), dispatched on the position
+//! class. This gives the workload a realistic static instruction footprint
+//! for the ARPT-pressure experiments (Table 3, Figure 5).
+
+use arl_asm::{FunctionBuilder, Program, ProgramBuilder, Provenance};
+use arl_isa::{BranchCond, Gpr};
+
+use crate::common::{
+    add_cold_functions, counted_loop_imm, dispatch_call, emit_cold_init, index_addr,
+};
+use crate::suite::Scale;
+
+const BOARD: i64 = 361; // 19 x 19
+const PATTERNS: i64 = 256;
+const EDGES: i64 = 128;
+const EVAL_VARIANTS: usize = 96;
+
+/// The neighbour-delta palette position-class evaluators draw from.
+const DELTAS: [i16; 12] = [-20, -19, -18, -2, -1, 1, 2, 18, 19, 20, -38, 38];
+
+pub(crate) fn build(scale: Scale) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let board: Vec<i64> = (0..BOARD).map(|i| (i * 7919) % 3).collect();
+    let patterns: Vec<i64> = (0..PATTERNS).map(|i| (i * 2654435761i64) % 97).collect();
+    let edges: Vec<i64> = (0..EDGES).map(|i| (i * 31) % 19).collect();
+    let g_board = pb.global_words("board", &board);
+    let g_patterns = pb.global_words("patterns", &patterns);
+    let g_edges = pb.global_words("edges", &edges);
+    let g_history = pb.global_zeroed("history", BOARD as u64 * 8);
+    let g_init_scratch = pb.global_zeroed("init_scratch", 64 * 8);
+    // Cold startup code: joseki/pattern-table initializers, run once each.
+    // Real go's static footprint is mostly such framed, rarely-hot code.
+    let cold = add_cold_functions(&mut pb, "init_tables", 64, g_init_scratch);
+
+    // eval_pos_k(a0 = pos) -> v0: scores a position from its
+    // class-specific neighbourhood and the pattern tables. Leaf functions,
+    // pure data-region traffic through computed pointers.
+    let eval_names: Vec<String> = (0..EVAL_VARIANTS)
+        .map(|k| format!("eval_pos_{k}"))
+        .collect();
+    for (k, name) in eval_names.iter().enumerate() {
+        let mut eval = FunctionBuilder::new(name);
+        let f = &mut eval;
+        f.set_leaf();
+        f.la_global(Gpr::T8, g_board);
+        f.la_global(Gpr::T9, g_patterns);
+        f.li(Gpr::V0, (k % 7) as i64);
+        // Each class inspects 8 of the 12 palette deltas, rotated by k.
+        for d in 0..8 {
+            let delta = DELTAS[(k + d) % DELTAS.len()];
+            f.addi(Gpr::T0, Gpr::A0, delta);
+            f.andi(Gpr::T0, Gpr::T0, 511);
+            f.li(Gpr::T3, BOARD);
+            let in_range = f.new_label();
+            f.br(BranchCond::Lt, Gpr::T0, Gpr::T3, in_range);
+            f.sub(Gpr::T0, Gpr::T0, Gpr::T3);
+            f.bind(in_range);
+            index_addr(f, Gpr::T1, Gpr::T8, Gpr::T0, 3, Gpr::T2);
+            f.load_ptr(Gpr::T4, Gpr::T1, 0, Provenance::StaticVar); // board[n]
+            f.andi(Gpr::T5, Gpr::T0, (PATTERNS - 1) as i16);
+            index_addr(f, Gpr::T6, Gpr::T9, Gpr::T5, 3, Gpr::T2);
+            f.load_ptr(Gpr::T7, Gpr::T6, 0, Provenance::StaticVar); // patterns
+            f.mul(Gpr::T4, Gpr::T4, Gpr::T7);
+            f.add(Gpr::V0, Gpr::V0, Gpr::T4);
+        }
+        // A third of the classes are edge-sensitive.
+        if k % 3 == 0 {
+            f.la_global(Gpr::T9, g_edges);
+            f.andi(Gpr::T5, Gpr::A0, (EDGES - 1) as i16);
+            index_addr(f, Gpr::T6, Gpr::T9, Gpr::T5, 3, Gpr::T2);
+            f.load_ptr(Gpr::T7, Gpr::T6, 0, Provenance::StaticVar);
+            f.add(Gpr::V0, Gpr::V0, Gpr::T7);
+        }
+        f.andi(Gpr::V0, Gpr::V0, 0x7ff);
+        pb.add_function(eval);
+    }
+
+    // search(a0 = pos, a1 = depth) -> v0: tries 6 candidate moves, plays
+    // each on the global board, recurses, and undoes the move. Leaves
+    // dispatch to the position-class evaluator.
+    let mut search = FunctionBuilder::new("search");
+    {
+        let f = &mut search;
+        f.save(&[Gpr::S0, Gpr::S1, Gpr::S2, Gpr::S4, Gpr::S5]);
+        let saved_stone = f.local(8);
+        f.mov(Gpr::S0, Gpr::A0); // pos
+        f.mov(Gpr::S1, Gpr::A1); // depth
+                                 // Leaf: evaluate via the position class.
+        let recurse = f.new_label();
+        f.bnez(Gpr::S1, recurse);
+        f.li(Gpr::T0, EVAL_VARIANTS as i64);
+        f.rem(Gpr::S2, Gpr::S0, Gpr::T0); // position class
+        f.mov(Gpr::A0, Gpr::S0);
+        dispatch_call(f, Gpr::S2, Gpr::T1, &eval_names);
+        f.ret();
+        f.bind(recurse);
+        f.li(Gpr::S5, 0); // best
+        f.li(Gpr::S2, 0); // move index
+        let loop_top = f.new_label();
+        let loop_end = f.new_label();
+        f.bind(loop_top);
+        f.li(Gpr::T0, 6);
+        f.br(BranchCond::Ge, Gpr::S2, Gpr::T0, loop_end);
+        // candidate = (pos * 31 + move * 97 + depth) % BOARD
+        f.li(Gpr::T1, 31);
+        f.mul(Gpr::T2, Gpr::S0, Gpr::T1);
+        f.li(Gpr::T1, 97);
+        f.mul(Gpr::T3, Gpr::S2, Gpr::T1);
+        f.add(Gpr::T2, Gpr::T2, Gpr::T3);
+        f.add(Gpr::T2, Gpr::T2, Gpr::S1);
+        f.li(Gpr::T1, BOARD);
+        f.rem(Gpr::S3, Gpr::T2, Gpr::T1); // candidate square
+                                          // Play: save stone, place ours.
+        f.la_global(Gpr::T8, g_board);
+        index_addr(f, Gpr::S4, Gpr::T8, Gpr::S3, 3, Gpr::T2);
+        f.load_ptr(Gpr::T4, Gpr::S4, 0, Provenance::StaticVar);
+        f.store_local(Gpr::T4, saved_stone, 0);
+        f.li(Gpr::T5, 1);
+        f.store_ptr(Gpr::T5, Gpr::S4, 0, Provenance::StaticVar);
+        // Move-history heuristic update (data RMW).
+        f.la_global(Gpr::T6, g_history);
+        index_addr(f, Gpr::T7, Gpr::T6, Gpr::S3, 3, Gpr::T2);
+        f.load_ptr(Gpr::T5, Gpr::T7, 0, Provenance::StaticVar);
+        f.addi(Gpr::T5, Gpr::T5, 1);
+        f.store_ptr(Gpr::T5, Gpr::T7, 0, Provenance::StaticVar);
+        // Recurse.
+        f.mov(Gpr::A0, Gpr::S3);
+        f.addi(Gpr::A1, Gpr::S1, -1);
+        f.call("search");
+        // Undo move (the address in S4 survived the call as a callee-saved
+        // register).
+        f.load_local(Gpr::T4, saved_stone, 0);
+        f.store_ptr(Gpr::T4, Gpr::S4, 0, Provenance::StaticVar);
+        // best = max(best, result - move)
+        f.sub(Gpr::V0, Gpr::V0, Gpr::S2);
+        let keep = f.new_label();
+        f.br(BranchCond::Ge, Gpr::S5, Gpr::V0, keep);
+        f.mov(Gpr::S5, Gpr::V0);
+        f.bind(keep);
+        f.addi(Gpr::S2, Gpr::S2, 1);
+        f.j(loop_top);
+        f.bind(loop_end);
+        f.mov(Gpr::V0, Gpr::S5);
+    }
+    pb.add_function(search);
+
+    // main: play `games` root searches from rotating root positions.
+    let mut main = FunctionBuilder::new("main");
+    {
+        let f = &mut main;
+        f.save(&[Gpr::S0, Gpr::S1, Gpr::S2]);
+        emit_cold_init(f, &cold);
+        let games = scale.apply(24);
+        f.li(Gpr::S1, 0); // accumulated score
+        counted_loop_imm(f, Gpr::S0, Gpr::S2, games, |f| {
+            f.li(Gpr::T0, 53);
+            f.mul(Gpr::A0, Gpr::S0, Gpr::T0);
+            f.li(Gpr::T0, BOARD);
+            f.rem(Gpr::A0, Gpr::A0, Gpr::T0);
+            f.li(Gpr::A1, 3); // search depth
+            f.call("search");
+            f.add(Gpr::S1, Gpr::S1, Gpr::V0);
+        });
+        f.print_int(Gpr::S1);
+    }
+    pb.add_function(main);
+
+    pb.link("main").expect("go workload links")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arl_sim::{Machine, RegionProfiler};
+
+    #[test]
+    fn go_runs_and_avoids_the_heap() {
+        let p = build(Scale::tiny());
+        let mut m = Machine::new(&p);
+        let mut profiler = RegionProfiler::new();
+        let outcome = m
+            .run_with(20_000_000, |e| profiler.observe(e))
+            .expect("executes");
+        assert!(outcome.exited, "go must run to completion");
+        let b = profiler.breakdown();
+        let heap: u64 = b.dynamic_counts[1]; // "H" class
+        assert_eq!(heap, 0, "go never touches the heap");
+        // Both data and stack traffic present.
+        assert!(b.dynamic_counts[0] > 0);
+        assert!(b.dynamic_counts[2] > 0);
+        // Deterministic output.
+        let mut m2 = Machine::new(&p);
+        m2.run(20_000_000).unwrap();
+        assert_eq!(m.output(), m2.output());
+    }
+
+    #[test]
+    fn go_has_a_large_static_footprint() {
+        let p = build(Scale::tiny());
+        let static_mem = p.static_mem_instructions().count();
+        assert!(
+            static_mem > 1000,
+            "the evaluator family must give go a realistic code footprint: {static_mem}"
+        );
+    }
+}

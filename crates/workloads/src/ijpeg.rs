@@ -1,0 +1,258 @@
+//! `ijpeg` — analog of 132.ijpeg.
+//!
+//! An image-compression kernel: the image lives on the heap, 8×8 blocks
+//! are copied into stack buffers, transformed in place with butterfly
+//! passes, quantized against a global table, and written back. Distinct
+//! copy / transform / writeback phases make the traffic to *every* region
+//! strictly bursty, as the paper observes for 132.ijpeg (D 1.4, H 3.5,
+//! S 4.1 per 32 — all bursty).
+
+use arl_asm::{FunctionBuilder, Program, ProgramBuilder, Provenance};
+use arl_isa::{Gpr, Syscall};
+
+use crate::common::{
+    add_cold_functions, counted_loop_imm, dispatch_call, emit_cold_init, index_addr,
+};
+use crate::suite::Scale;
+
+const BLOCK: i64 = 64; // 8x8 samples, one i64 each
+const BLOCKS_PER_IMAGE: i64 = 16;
+const BLOCK_VARIANTS: usize = 16;
+const ENCODE_VARIANTS: usize = 4;
+
+pub(crate) fn build(scale: Scale) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let quant: Vec<i64> = (0..BLOCK).map(|i| 1 + (i % 8) + (i / 8)).collect();
+    let g_quant = pb.global_words("quant", &quant);
+    let g_image = pb.global_zeroed("image_ptr", 8);
+
+    // process_block_k(a0 = block ptr in heap) -> v0 = block energy — one
+    // variant per component/scan class, as libjpeg's coefficient
+    // controllers specialize.
+    let process_names: Vec<String> = (0..BLOCK_VARIANTS)
+        .map(|k| format!("process_block_{k}"))
+        .collect();
+    for (k, name) in process_names.iter().enumerate() {
+        let mut process = FunctionBuilder::new(name);
+        let f = &mut process;
+        f.save(&[Gpr::S0, Gpr::S1, Gpr::S2]);
+        let buf = f.local(BLOCK as u32 * 8);
+        f.mov(Gpr::S0, Gpr::A0);
+        // Phase 1: copy heap block → stack buffer, unrolled ×4 so the heap
+        // loads cluster (heap burst).
+        counted_loop_imm(f, Gpr::S1, Gpr::S2, BLOCK / 4, |f| {
+            f.slli(Gpr::T0, Gpr::S1, 5); // byte offset of the 4-word group
+            f.add(Gpr::T1, Gpr::S0, Gpr::T0);
+            f.load_ptr(Gpr::T2, Gpr::T1, 0, Provenance::HeapBlock);
+            f.load_ptr(Gpr::T3, Gpr::T1, 8, Provenance::HeapBlock);
+            f.load_ptr(Gpr::T4, Gpr::T1, 16, Provenance::HeapBlock);
+            f.load_ptr(Gpr::T5, Gpr::T1, 24, Provenance::HeapBlock);
+            f.addr_of_local(Gpr::T6, buf, 0);
+            f.add(Gpr::T6, Gpr::T6, Gpr::T0);
+            f.store_ptr(Gpr::T2, Gpr::T6, 0, Provenance::PointsToStack);
+            f.store_ptr(Gpr::T3, Gpr::T6, 8, Provenance::PointsToStack);
+            f.store_ptr(Gpr::T4, Gpr::T6, 16, Provenance::PointsToStack);
+            f.store_ptr(Gpr::T5, Gpr::T6, 24, Provenance::PointsToStack);
+        });
+        // Phase 2: butterfly transform over the stack copy (stack burst).
+        // Two passes with variant-specific pairing distances.
+        let strides = if k % 2 == 0 { [32i64, 8] } else { [16i64, 4] };
+        for stride in strides {
+            counted_loop_imm(f, Gpr::S1, Gpr::S2, BLOCK - stride, |f| {
+                f.addr_of_local(Gpr::T0, buf, 0);
+                f.slli(Gpr::T1, Gpr::S1, 3);
+                f.add(Gpr::T0, Gpr::T0, Gpr::T1);
+                f.load_ptr(Gpr::T2, Gpr::T0, 0, Provenance::PointsToStack);
+                f.load_ptr(
+                    Gpr::T3,
+                    Gpr::T0,
+                    (stride * 8) as i16,
+                    Provenance::PointsToStack,
+                );
+                f.add(Gpr::T4, Gpr::T2, Gpr::T3);
+                f.sub(Gpr::T5, Gpr::T2, Gpr::T3);
+                f.srai(Gpr::T4, Gpr::T4, 1);
+                f.srai(Gpr::T5, Gpr::T5, 1);
+                f.store_ptr(Gpr::T4, Gpr::T0, 0, Provenance::PointsToStack);
+                f.store_ptr(
+                    Gpr::T5,
+                    Gpr::T0,
+                    (stride * 8) as i16,
+                    Provenance::PointsToStack,
+                );
+            });
+        }
+        // Phase 3: quantize in place against the global table (data +
+        // stack, no heap).
+        counted_loop_imm(f, Gpr::S1, Gpr::S2, BLOCK, |f| {
+            f.slli(Gpr::T0, Gpr::S1, 3);
+            f.addr_of_local(Gpr::T1, buf, 0);
+            f.add(Gpr::T1, Gpr::T1, Gpr::T0);
+            f.load_ptr(Gpr::T2, Gpr::T1, 0, Provenance::PointsToStack);
+            f.la_global(Gpr::T3, g_quant);
+            f.add(Gpr::T3, Gpr::T3, Gpr::T0);
+            // Variant-specific quantization row.
+            f.load_ptr(
+                Gpr::T4,
+                Gpr::T3,
+                ((k as i64 % 4) * 16) as i16,
+                Provenance::StaticVar,
+            );
+            f.div(Gpr::T2, Gpr::T2, Gpr::T4);
+            f.store_ptr(Gpr::T2, Gpr::T1, 0, Provenance::PointsToStack);
+        });
+        // Phase 4: write back, unrolled ×4 (heap burst).
+        f.li(Gpr::V0, 0);
+        counted_loop_imm(f, Gpr::S1, Gpr::S2, BLOCK / 4, |f| {
+            f.slli(Gpr::T0, Gpr::S1, 5);
+            f.addr_of_local(Gpr::T1, buf, 0);
+            f.add(Gpr::T1, Gpr::T1, Gpr::T0);
+            f.load_ptr(Gpr::T2, Gpr::T1, 0, Provenance::PointsToStack);
+            f.load_ptr(Gpr::T3, Gpr::T1, 8, Provenance::PointsToStack);
+            f.load_ptr(Gpr::T4, Gpr::T1, 16, Provenance::PointsToStack);
+            f.load_ptr(Gpr::T5, Gpr::T1, 24, Provenance::PointsToStack);
+            f.add(Gpr::T6, Gpr::S0, Gpr::T0);
+            f.store_ptr(Gpr::T2, Gpr::T6, 0, Provenance::HeapBlock);
+            f.store_ptr(Gpr::T3, Gpr::T6, 8, Provenance::HeapBlock);
+            f.store_ptr(Gpr::T4, Gpr::T6, 16, Provenance::HeapBlock);
+            f.store_ptr(Gpr::T5, Gpr::T6, 24, Provenance::HeapBlock);
+            f.add(Gpr::V0, Gpr::V0, Gpr::T2);
+            f.add(Gpr::V0, Gpr::V0, Gpr::T4);
+        });
+        pb.add_function(process);
+    }
+
+    // encode_pass(a0 = image ptr) -> v0: entropy-coding stand-in — streams
+    // the whole heap image, updating a global histogram. Runs with *no*
+    // frame traffic, so the stack goes quiet for long stretches (this is
+    // what makes ijpeg's stack strictly bursty).
+    let encode_names: Vec<String> = (0..ENCODE_VARIANTS)
+        .map(|k| format!("encode_pass_{k}"))
+        .collect();
+    for (k, name) in encode_names.iter().enumerate() {
+        let mut encode = FunctionBuilder::new(name);
+        let f = &mut encode;
+        let top = f.new_label();
+        let done = f.new_label();
+        f.li(Gpr::T0, 0); // index
+        f.li(Gpr::V0, 0);
+        f.bind(top);
+        f.li(Gpr::T1, BLOCKS_PER_IMAGE * BLOCK);
+        f.br(arl_isa::BranchCond::Ge, Gpr::T0, Gpr::T1, done);
+        f.slli(Gpr::T2, Gpr::T0, 3);
+        f.add(Gpr::T3, Gpr::A0, Gpr::T2);
+        f.load_ptr(Gpr::T4, Gpr::T3, 0, Provenance::HeapBlock);
+        // Emit a literal run: only escape codes (1 in 8) consult the global
+        // code table, so the data region stays quiet through this phase.
+        f.andi(Gpr::T5, Gpr::T4, 7);
+        let no_escape = f.new_label();
+        f.bnez(Gpr::T5, no_escape);
+        f.andi(Gpr::T5, Gpr::T4, 63 - (k as i16 % 2) * 32);
+        f.la_global(Gpr::T6, g_quant); // reuse quant as the code table
+        index_addr(f, Gpr::T7, Gpr::T6, Gpr::T5, 3, Gpr::T2);
+        f.load_ptr(Gpr::T5, Gpr::T7, 0, Provenance::StaticVar);
+        f.add(Gpr::V0, Gpr::V0, Gpr::T5);
+        f.bind(no_escape);
+        f.add(Gpr::V0, Gpr::V0, Gpr::T4);
+        f.addi(Gpr::T0, Gpr::T0, 1);
+        f.j(top);
+        f.bind(done);
+        f.andi(Gpr::V0, Gpr::V0, 0x3fff);
+        pb.add_function(encode);
+    }
+
+    // fill_image(a0 = image ptr, a1 = seed): raster-fills the heap image.
+    let mut fill = FunctionBuilder::new("fill_image");
+    {
+        let f = &mut fill;
+        f.save(&[Gpr::S0, Gpr::S1, Gpr::S2, Gpr::S3]);
+        f.mov(Gpr::S0, Gpr::A0);
+        f.mov(Gpr::S3, Gpr::A1);
+        counted_loop_imm(f, Gpr::S1, Gpr::S2, BLOCKS_PER_IMAGE * BLOCK, |f| {
+            f.li(Gpr::T0, 73);
+            f.mul(Gpr::T1, Gpr::S1, Gpr::T0);
+            f.add(Gpr::T1, Gpr::T1, Gpr::S3);
+            f.andi(Gpr::T1, Gpr::T1, 255);
+            index_addr(f, Gpr::T2, Gpr::S0, Gpr::S1, 3, Gpr::T3);
+            f.store_ptr(Gpr::T1, Gpr::T2, 0, Provenance::HeapBlock);
+        });
+    }
+    pb.add_function(fill);
+
+    // main: per image — allocate, fill, process all blocks, free.
+    let g_cold_scratch = pb.global_zeroed("cold_scratch", 64 * 8);
+    // Cold startup code (init_markers_*): the bulk of a real binary's
+    // static footprint is such once-executed framed code.
+    let cold = add_cold_functions(&mut pb, "init_markers", 90, g_cold_scratch);
+
+    let mut main = FunctionBuilder::new("main");
+    {
+        let f = &mut main;
+        f.save(&[Gpr::S0, Gpr::S1, Gpr::S2, Gpr::S3, Gpr::S4]);
+        emit_cold_init(f, &cold);
+        let images = scale.apply(42);
+        f.li(Gpr::S3, 0); // energy accumulator
+        counted_loop_imm(f, Gpr::S0, Gpr::S2, images, |f| {
+            f.malloc_imm(BLOCKS_PER_IMAGE * BLOCK * 8);
+            f.store_global(Gpr::V0, g_image, 0);
+            f.mov(Gpr::A0, Gpr::V0);
+            f.mov(Gpr::A1, Gpr::S0);
+            f.call("fill_image");
+            // Process each block.
+            let inner_limit = Gpr::S4;
+            counted_loop_imm(f, Gpr::S1, inner_limit, BLOCKS_PER_IMAGE, |f| {
+                f.load_global(Gpr::T0, g_image, 0);
+                f.li(Gpr::T1, BLOCK * 8);
+                f.mul(Gpr::T2, Gpr::S1, Gpr::T1);
+                f.add(Gpr::A0, Gpr::T0, Gpr::T2);
+                f.li(Gpr::T3, BLOCK_VARIANTS as i64);
+                f.rem(Gpr::T4, Gpr::S1, Gpr::T3);
+                dispatch_call(f, Gpr::T4, Gpr::T5, &process_names);
+                f.add(Gpr::S3, Gpr::S3, Gpr::V0);
+            });
+            // Entropy-coding phase: three progressive scans — a long
+            // stack-quiet stretch after the frame-heavy block processing.
+            for scan in 0..3 {
+                f.load_global(Gpr::A0, g_image, 0);
+                f.li(Gpr::T3, ENCODE_VARIANTS as i64);
+                f.addi(Gpr::T4, Gpr::S0, scan);
+                f.rem(Gpr::T4, Gpr::T4, Gpr::T3);
+                dispatch_call(f, Gpr::T4, Gpr::T5, &encode_names);
+                f.add(Gpr::S3, Gpr::S3, Gpr::V0);
+            }
+            f.load_global(Gpr::A0, g_image, 0);
+            f.syscall(Syscall::Free);
+        });
+        f.andi(Gpr::A0, Gpr::S3, 0x7fff);
+        f.syscall(Syscall::PrintInt);
+    }
+    pb.add_function(main);
+
+    pb.link("main").expect("ijpeg workload links")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arl_mem::Region;
+    use arl_sim::{Machine, SlidingWindowProfiler};
+
+    #[test]
+    fn ijpeg_traffic_is_bursty_everywhere() {
+        let p = build(Scale::tiny());
+        let mut m = Machine::new(&p);
+        let mut w = SlidingWindowProfiler::new();
+        let outcome = m.run_with(50_000_000, |e| w.observe(e)).expect("executes");
+        assert!(outcome.exited);
+        let s = &w.stats()[0]; // 32-instruction window
+        for r in [Region::Data, Region::Heap, Region::Stack] {
+            assert!(s.mean(r) > 0.05, "{r} region active");
+            assert!(
+                s.is_strictly_bursty(r),
+                "{r} must be strictly bursty: mean={} sd={}",
+                s.mean(r),
+                s.stddev(r)
+            );
+        }
+    }
+}

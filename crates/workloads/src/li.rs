@@ -1,0 +1,241 @@
+//! `li` — analog of 130.li (xlisp).
+//!
+//! A cons-cell list engine: `cons` allocates 16-byte cells on the heap,
+//! recursive builders and reducers walk them (deep call chains → heavy,
+//! bursty stack traffic), an iterative sweep rereads them (heap traffic),
+//! and a small global symbol table adds modest data-region traffic —
+//! matching 130.li's S > H > D per-32 signature.
+
+use arl_asm::{FunctionBuilder, Program, ProgramBuilder, Provenance};
+use arl_isa::{Gpr, Syscall};
+
+use crate::common::{
+    add_cold_functions, counted_loop_imm, dispatch_call, emit_cold_init, index_addr,
+};
+use crate::suite::Scale;
+
+const SYMTAB: i64 = 128;
+const LIST_LEN: i64 = 48;
+const BUILTINS: usize = 6;
+
+pub(crate) fn build(scale: Scale) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let symtab_init: Vec<i64> = (0..SYMTAB).map(|i| i * 37 % 101).collect();
+    let g_symtab = pb.global_words("symtab", &symtab_init);
+
+    // cons(a0 = car, a1 = cdr) -> v0: one fresh heap cell. Frameless leaf
+    // (`malloc` is a syscall; `a1` survives it).
+    let mut cons = FunctionBuilder::new("cons");
+    {
+        let f = &mut cons;
+        f.set_leaf();
+        f.mov(Gpr::T8, Gpr::A0); // malloc_imm clobbers a0
+        f.malloc_imm(16);
+        f.store_ptr(Gpr::T8, Gpr::V0, 0, Provenance::HeapBlock); // car
+        f.store_ptr(Gpr::A1, Gpr::V0, 8, Provenance::HeapBlock); // cdr
+    }
+    pb.add_function(cons);
+
+    // buildlist(a0 = n) -> v0: recursive construction, lisp-style.
+    let mut buildlist = FunctionBuilder::new("buildlist");
+    {
+        let f = &mut buildlist;
+        f.save(&[Gpr::S0]);
+        let nonzero = f.new_label();
+        f.bnez(Gpr::A0, nonzero);
+        f.li(Gpr::V0, 0); // nil
+        f.ret();
+        f.bind(nonzero);
+        f.mov(Gpr::S0, Gpr::A0);
+        f.addi(Gpr::A0, Gpr::A0, -1);
+        f.call("buildlist");
+        // car = symtab[n & 127] + n : touches the data region.
+        f.andi(Gpr::T0, Gpr::S0, (SYMTAB - 1) as i16);
+        f.la_global(Gpr::T1, g_symtab);
+        index_addr(f, Gpr::T2, Gpr::T1, Gpr::T0, 3, Gpr::T3);
+        f.load_ptr(Gpr::A0, Gpr::T2, 0, Provenance::StaticVar);
+        f.add(Gpr::A0, Gpr::A0, Gpr::S0);
+        f.mov(Gpr::A1, Gpr::V0);
+        f.call("cons");
+    }
+    pb.add_function(buildlist);
+
+    // sumlist(a0 = list) -> v0: recursive reduce (cdr recursion).
+    let mut sumlist = FunctionBuilder::new("sumlist");
+    {
+        let f = &mut sumlist;
+        f.save(&[Gpr::S0]);
+        let nonnil = f.new_label();
+        f.bnez(Gpr::A0, nonnil);
+        f.li(Gpr::V0, 0);
+        f.ret();
+        f.bind(nonnil);
+        f.load_ptr(Gpr::S0, Gpr::A0, 0, Provenance::HeapBlock); // car
+        f.load_ptr(Gpr::A0, Gpr::A0, 8, Provenance::HeapBlock); // cdr
+        f.call("sumlist");
+        f.add(Gpr::V0, Gpr::V0, Gpr::S0);
+    }
+    pb.add_function(sumlist);
+
+    // scale_list_k(a0 = list, a1 = k): iterative in-place map (heap-dense,
+    // no recursion), consulting the symbol table per cell (data load).
+    // One variant per builtin arithmetic op, as xlisp's SUBR table has.
+    let scale_names: Vec<String> = (0..BUILTINS).map(|k| format!("scale_list_{k}")).collect();
+    for (k, name) in scale_names.iter().enumerate() {
+        let mut scale_fn = FunctionBuilder::new(name);
+        let f = &mut scale_fn;
+        f.set_leaf();
+        let top = f.new_label();
+        let done = f.new_label();
+        f.bind(top);
+        f.beqz(Gpr::A0, done);
+        f.load_ptr(Gpr::T0, Gpr::A0, 0, Provenance::HeapBlock);
+        // weight = symtab[car & 127]
+        f.andi(Gpr::T1, Gpr::T0, (SYMTAB - 1) as i16);
+        f.la_global(Gpr::T2, g_symtab);
+        index_addr(f, Gpr::T3, Gpr::T2, Gpr::T1, 3, Gpr::T4);
+        f.load_ptr(Gpr::T5, Gpr::T3, 0, Provenance::StaticVar);
+        f.mul(Gpr::T0, Gpr::T0, Gpr::A1);
+        f.add(Gpr::T0, Gpr::T0, Gpr::T5);
+        f.addi(Gpr::T0, Gpr::T0, k as i16);
+        f.andi(Gpr::T0, Gpr::T0, 0x3fff);
+        f.store_ptr(Gpr::T0, Gpr::A0, 0, Provenance::HeapBlock);
+        f.load_ptr(Gpr::A0, Gpr::A0, 8, Provenance::HeapBlock);
+        f.j(top);
+        f.bind(done);
+        pb.add_function(scale_fn);
+    }
+
+    // sum_iter_k(a0 = list) -> v0: iterative reduce with a per-cell symbol
+    // lookup — the interpreter's non-recursive fast paths.
+    let sum_names: Vec<String> = (0..BUILTINS).map(|k| format!("sum_iter_{k}")).collect();
+    for (k, name) in sum_names.iter().enumerate() {
+        let mut sum_iter = FunctionBuilder::new(name);
+        let f = &mut sum_iter;
+        f.set_leaf();
+        let top = f.new_label();
+        let done = f.new_label();
+        f.li(Gpr::V0, 0);
+        f.bind(top);
+        f.beqz(Gpr::A0, done);
+        f.load_ptr(Gpr::T0, Gpr::A0, 0, Provenance::HeapBlock);
+        f.andi(Gpr::T1, Gpr::T0, (SYMTAB - 1) as i16);
+        f.la_global(Gpr::T2, g_symtab);
+        index_addr(f, Gpr::T3, Gpr::T2, Gpr::T1, 3, Gpr::T4);
+        f.load_ptr(Gpr::T5, Gpr::T3, 0, Provenance::StaticVar);
+        f.add(Gpr::V0, Gpr::V0, Gpr::T0);
+        f.add(Gpr::V0, Gpr::V0, Gpr::T5);
+        if k % 2 == 1 {
+            f.xori(Gpr::V0, Gpr::V0, k as i16);
+        }
+        f.load_ptr(Gpr::A0, Gpr::A0, 8, Provenance::HeapBlock);
+        f.j(top);
+        f.bind(done);
+        pb.add_function(sum_iter);
+    }
+
+    // freelist(a0 = list): walk and free each cell.
+    let mut freelist = FunctionBuilder::new("freelist");
+    {
+        let f = &mut freelist;
+        f.save(&[Gpr::S0]);
+        let top = f.new_label();
+        let done = f.new_label();
+        f.mov(Gpr::S0, Gpr::A0);
+        f.bind(top);
+        f.beqz(Gpr::S0, done);
+        f.load_ptr(Gpr::T0, Gpr::S0, 8, Provenance::HeapBlock); // next
+        f.mov(Gpr::A0, Gpr::S0);
+        f.syscall(Syscall::Free);
+        f.mov(Gpr::S0, Gpr::T0);
+        f.j(top);
+        f.bind(done);
+    }
+    pb.add_function(freelist);
+
+    // main: repeatedly build / reduce / map / free lists; keep a checksum
+    // in the global symbol table (read-modify-write → data traffic).
+    let g_cold_scratch = pb.global_zeroed("cold_scratch", 64 * 8);
+    // Cold startup code (init_subrs_*): the bulk of a real binary's
+    // static footprint is such once-executed framed code.
+    let cold = add_cold_functions(&mut pb, "init_subrs", 90, g_cold_scratch);
+
+    let mut main = FunctionBuilder::new("main");
+    {
+        let f = &mut main;
+        f.save(&[Gpr::S0, Gpr::S1, Gpr::S2, Gpr::S3]);
+        emit_cold_init(f, &cold);
+        let iters = scale.apply(420);
+        f.li(Gpr::S3, 0); // checksum
+        counted_loop_imm(f, Gpr::S0, Gpr::S2, iters, |f| {
+            f.li(Gpr::A0, LIST_LEN);
+            f.call("buildlist");
+            f.mov(Gpr::S1, Gpr::V0); // the list
+            f.mov(Gpr::A0, Gpr::S1);
+            f.call("sumlist");
+            f.add(Gpr::S3, Gpr::S3, Gpr::V0);
+            f.mov(Gpr::A0, Gpr::S1);
+            f.andi(Gpr::A1, Gpr::S0, 7);
+            f.addi(Gpr::A1, Gpr::A1, 1);
+            f.li(Gpr::T0, BUILTINS as i64);
+            f.rem(Gpr::T4, Gpr::S0, Gpr::T0);
+            dispatch_call(f, Gpr::T4, Gpr::T5, &scale_names);
+            f.mov(Gpr::A0, Gpr::S1);
+            // Recompute the builtin selector: the leaf list walkers use
+            // the temporaries freely.
+            f.li(Gpr::T0, BUILTINS as i64);
+            f.rem(Gpr::T4, Gpr::S0, Gpr::T0);
+            dispatch_call(f, Gpr::T4, Gpr::T5, &sum_names);
+            f.add(Gpr::S3, Gpr::S3, Gpr::V0);
+            // symtab[i & 127] += partial checksum (data RMW).
+            f.andi(Gpr::T0, Gpr::S0, (SYMTAB - 1) as i16);
+            f.la_global(Gpr::T1, g_symtab);
+            index_addr(f, Gpr::T2, Gpr::T1, Gpr::T0, 3, Gpr::T3);
+            f.load_ptr(Gpr::T4, Gpr::T2, 0, Provenance::StaticVar);
+            f.add(Gpr::T4, Gpr::T4, Gpr::V0);
+            f.store_ptr(Gpr::T4, Gpr::T2, 0, Provenance::StaticVar);
+            f.mov(Gpr::A0, Gpr::S1);
+            f.call("freelist");
+        });
+        f.andi(Gpr::A0, Gpr::S3, 0x7fff);
+        f.syscall(Syscall::PrintInt);
+    }
+    pb.add_function(main);
+
+    pb.link("main").expect("li workload links")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arl_mem::Region;
+    use arl_sim::{Machine, SlidingWindowProfiler};
+
+    #[test]
+    fn li_mixes_heap_and_stack_heavily() {
+        let p = build(Scale::tiny());
+        let mut m = Machine::new(&p);
+        let mut w = SlidingWindowProfiler::new();
+        let outcome = m.run_with(50_000_000, |e| w.observe(e)).expect("executes");
+        assert!(outcome.exited);
+        let s = &w.stats()[0];
+        let (d, h, st) = (
+            s.mean(Region::Data),
+            s.mean(Region::Heap),
+            s.mean(Region::Stack),
+        );
+        assert!(h > d, "heap should exceed data traffic: H={h} D={d}");
+        assert!(st > d, "stack should exceed data traffic: S={st} D={d}");
+        assert!(h > 1.0 && st > 1.0);
+    }
+
+    #[test]
+    fn li_heap_is_fully_reclaimed() {
+        // freelist must free every cons cell; a second run of the same
+        // machine state isn't observable here, but a successful exit with
+        // no alloc errors proves free() saw valid pointers throughout.
+        let p = build(Scale::tiny());
+        let mut m = Machine::new(&p);
+        assert!(m.run(50_000_000).unwrap().exited);
+    }
+}

@@ -1,0 +1,162 @@
+//! `mgrid` — analog of 107.mgrid.
+//!
+//! Multigrid relaxation over one large global `f64` grid, with smoothing
+//! passes at several strides (the fine→coarse→fine V-cycle). The most
+//! data-dominant workload in the suite — 107.mgrid shows D ≈ 9.6 vs
+//! S ≈ 2.6 per 32 with no heap and the steadiest data stream.
+
+use arl_asm::{FunctionBuilder, Program, ProgramBuilder, Provenance};
+use arl_isa::{Fpr, Gpr, Syscall};
+
+use crate::common::{add_cold_functions, counted_loop_imm, dispatch_call, emit_cold_init};
+use crate::suite::Scale;
+
+const DIM: i64 = 64;
+const CELLS: i64 = DIM * DIM;
+const SMOOTH_VARIANTS: usize = 8;
+
+pub(crate) fn build(scale: Scale) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let init: Vec<f64> = (0..CELLS).map(|i| ((i * 31) % 23) as f64 * 0.125).collect();
+    let g_grid = pb.global_f64s("grid", &init);
+    let g_resid = pb.global_zeroed("resid", CELLS as u64 * 8);
+
+    // smooth_k(a0 = stride): one relaxation pass at the given stride over
+    // the whole grid — four neighbour loads, one store, per cell. Eight
+    // variants, as mgrid's psinv/resid/interp routines are separately
+    // compiled loop nests.
+    let smooth_names: Vec<String> = (0..SMOOTH_VARIANTS)
+        .map(|k| format!("smooth_{k}"))
+        .collect();
+    for (k, name) in smooth_names.iter().enumerate() {
+        let mut smooth = FunctionBuilder::new(name);
+        let f = &mut smooth;
+        f.save(&[Gpr::S0, Gpr::S1, Gpr::S2, Gpr::S3, Gpr::S4]);
+        let spill = f.local(8); // FP register-pressure spill
+        f.mov(Gpr::S2, Gpr::A0); // stride (cells)
+                                 // Ping-pong: even variants read grid → write resid, odd variants
+                                 // read resid → write grid (mgrid's resid/psinv pairs do exactly
+                                 // this; no cell is read and written in the same pass).
+        if k % 2 == 0 {
+            f.la_global(Gpr::S3, g_grid);
+            f.la_global(Gpr::S4, g_resid);
+        } else {
+            f.la_global(Gpr::S3, g_resid);
+            f.la_global(Gpr::S4, g_grid);
+        }
+        // 0.25 in F10.
+        f.li(Gpr::T0, 1);
+        f.cvt_if(Fpr::F10, Gpr::T0);
+        f.li(Gpr::T0, 4);
+        f.cvt_if(Fpr::F11, Gpr::T0);
+        f.fdiv(Fpr::F10, Fpr::F10, Fpr::F11);
+        // Interior cells: stride*DIM .. CELLS - stride*DIM.
+        let span = CELLS - 2 * DIM; // conservative interior for stride ≤ DIM
+        counted_loop_imm(f, Gpr::S0, Gpr::S1, span, |f| {
+            f.li(Gpr::T0, DIM);
+            f.mul(Gpr::T0, Gpr::S2, Gpr::T0); // stride*DIM
+            f.add(Gpr::T1, Gpr::S0, Gpr::T0); // centre index
+            f.slli(Gpr::T1, Gpr::T1, 3);
+            f.add(Gpr::T2, Gpr::S3, Gpr::T1); // &grid[centre]
+                                              // neighbours at ±stride and ±stride*DIM.
+            f.slli(Gpr::T3, Gpr::S2, 3);
+            f.add(Gpr::T4, Gpr::T2, Gpr::T3);
+            f.fload_ptr(Fpr::F0, Gpr::T4, 0, Provenance::StaticVar);
+            f.sub(Gpr::T4, Gpr::T2, Gpr::T3);
+            f.fload_ptr(Fpr::F1, Gpr::T4, 0, Provenance::StaticVar);
+            f.slli(Gpr::T5, Gpr::T0, 3);
+            f.add(Gpr::T4, Gpr::T2, Gpr::T5);
+            f.fload_ptr(Fpr::F2, Gpr::T4, 0, Provenance::StaticVar);
+            f.sub(Gpr::T4, Gpr::T2, Gpr::T5);
+            f.fload_ptr(Fpr::F3, Gpr::T4, 0, Provenance::StaticVar);
+            f.fadd(Fpr::F0, Fpr::F0, Fpr::F1);
+            f.fadd(Fpr::F2, Fpr::F2, Fpr::F3);
+            f.fadd(Fpr::F0, Fpr::F0, Fpr::F2);
+            f.fmul(Fpr::F0, Fpr::F0, Fpr::F10);
+            // dst[centre] = relaxed value blended with the source centre
+            // and the destination's previous value (cross-pass dependence
+            // only — no cell is read after being written within a pass).
+            // The relaxed value spills while the centre values are loaded.
+            f.fstore_local(Fpr::F0, spill, 0);
+            f.fload_ptr(Fpr::F4, Gpr::T2, 0, Provenance::StaticVar);
+            f.add(Gpr::T6, Gpr::S4, Gpr::T1);
+            f.fload_ptr(Fpr::F5, Gpr::T6, 0, Provenance::StaticVar);
+            f.fmul(Fpr::F5, Fpr::F5, Fpr::F10);
+            f.fadd(Fpr::F4, Fpr::F4, Fpr::F5);
+            f.fload_local(Fpr::F0, spill, 0);
+            f.fadd(Fpr::F4, Fpr::F4, Fpr::F0);
+            f.fmul(Fpr::F4, Fpr::F4, Fpr::F10);
+            if k % 2 == 1 {
+                f.fadd(Fpr::F4, Fpr::F4, Fpr::F10);
+            }
+            f.fstore_ptr(Fpr::F4, Gpr::T6, 0, Provenance::StaticVar);
+        });
+        pb.add_function(smooth);
+    }
+
+    let g_cold_scratch = pb.global_zeroed("cold_scratch", 64 * 8);
+    // Cold startup code (init_grids_*): the bulk of a real binary's
+    // static footprint is such once-executed framed code.
+    let cold = add_cold_functions(&mut pb, "init_grids", 160, g_cold_scratch);
+
+    let mut main = FunctionBuilder::new("main");
+    {
+        let f = &mut main;
+        f.save(&[Gpr::S0, Gpr::S1]);
+        emit_cold_init(f, &cold);
+        let cycles = scale.apply(4);
+        counted_loop_imm(f, Gpr::S0, Gpr::S1, cycles, |f| {
+            // V-cycle: fine → coarse → fine strides, each phase through its
+            // own specialized smoother.
+            for (phase, stride) in [1i64, 2, 4, 2, 1].into_iter().enumerate() {
+                f.li(Gpr::A0, stride);
+                // Alternate pass parity so the grids ping-pong.
+                let variant = (2 * (stride as usize % 4) + phase % 2) % SMOOTH_VARIANTS;
+                f.li(Gpr::T4, variant as i64);
+                dispatch_call(f, Gpr::T4, Gpr::T5, &smooth_names);
+            }
+        });
+        // Digest one grid cell.
+        f.la_global(Gpr::T0, g_grid);
+        f.fload_ptr(
+            Fpr::F0,
+            Gpr::T0,
+            (DIM * 8 + 64) as i16,
+            Provenance::StaticVar,
+        );
+        f.li(Gpr::T1, 1 << 12);
+        f.cvt_if(Fpr::F1, Gpr::T1);
+        f.fmul(Fpr::F0, Fpr::F0, Fpr::F1);
+        f.cvt_fi(Gpr::A0, Fpr::F0);
+        f.andi(Gpr::A0, Gpr::A0, 0x7fff);
+        f.syscall(Syscall::PrintInt);
+    }
+    pb.add_function(main);
+
+    pb.link("main").expect("mgrid workload links")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arl_mem::Region;
+    use arl_sim::{Machine, SlidingWindowProfiler};
+
+    #[test]
+    fn mgrid_is_the_most_data_dominant() {
+        let p = build(Scale::tiny());
+        let mut m = Machine::new(&p);
+        let mut w = SlidingWindowProfiler::new();
+        let outcome = m.run_with(80_000_000, |e| w.observe(e)).expect("executes");
+        assert!(outcome.exited);
+        let s = &w.stats()[0];
+        let (d, h, st) = (
+            s.mean(Region::Data),
+            s.mean(Region::Heap),
+            s.mean(Region::Stack),
+        );
+        assert!(h < 0.01, "no heap traffic");
+        assert!(d > 3.0 * st, "data must dwarf stack: D={d} S={st}");
+        assert!(!s.is_strictly_bursty(Region::Data), "data stream is steady");
+    }
+}

@@ -1,0 +1,156 @@
+//! `su2cor` — analog of 103.su2cor.
+//!
+//! Lattice quantum-chromodynamics-flavoured sweeps: gather indices from a
+//! global table, stream "complex" pairs from a global lattice, accumulate
+//! per-site products. Data-dominant (103.su2cor: D ≈ 7.4, S ≈ 3.0 per 32)
+//! with a trace of heap from a once-initialized scratch vector (H ≈ 0.4)
+//! and per-slice calls that leave its stack traffic bursty.
+
+use arl_asm::{FunctionBuilder, Program, ProgramBuilder, Provenance};
+use arl_isa::{Fpr, Gpr, Syscall};
+
+use crate::common::{
+    add_cold_functions, counted_loop_imm, dispatch_call, emit_cold_init, index_addr,
+};
+use crate::suite::Scale;
+
+const SITES: i64 = 2048; // complex pairs: 2 f64 each
+const SLICE: i64 = 128;
+const SLICE_VARIANTS: usize = 12;
+
+pub(crate) fn build(scale: Scale) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let lattice: Vec<f64> = (0..SITES * 2)
+        .map(|i| ((i * 29) % 41) as f64 * 0.0625 - 1.0)
+        .collect();
+    let gather: Vec<i64> = (0..SITES).map(|i| (i * 131) % SITES).collect();
+    let g_lat = pb.global_f64s("lattice", &lattice);
+    let g_idx = pb.global_words("gather", &gather);
+    let g_scratch = pb.global_zeroed("scratch_ptr", 8);
+
+    // slice_update_k(a0 = slice base site): one gather-multiply-accumulate
+    // slice; returns an integer digest. One variant per correlation
+    // direction, as su2cor's trajectory routines specialize.
+    let slice_names: Vec<String> = (0..SLICE_VARIANTS)
+        .map(|k| format!("slice_update_{k}"))
+        .collect();
+    for (k, name) in slice_names.iter().enumerate() {
+        let mut slice = FunctionBuilder::new(name);
+        let f = &mut slice;
+        f.save(&[Gpr::S0, Gpr::S1, Gpr::S2, Gpr::S3, Gpr::S4]);
+        let acc = f.local(16); // complex accumulator, spilled
+        f.mov(Gpr::S2, Gpr::A0);
+        f.la_global(Gpr::S3, g_lat);
+        f.la_global(Gpr::S4, g_idx);
+        f.cvt_if(Fpr::F0, Gpr::ZERO);
+        f.fstore_local(Fpr::F0, acc, 0);
+        f.fstore_local(Fpr::F0, acc, 8);
+        counted_loop_imm(f, Gpr::S0, Gpr::S1, SLICE, |f| {
+            // site = gather[(base + i) & (SITES-1)] (data load)
+            f.add(Gpr::T0, Gpr::S2, Gpr::S0);
+            f.andi(Gpr::T0, Gpr::T0, (SITES - 1) as i16);
+            index_addr(f, Gpr::T1, Gpr::S4, Gpr::T0, 3, Gpr::T2);
+            f.load_ptr(Gpr::T3, Gpr::T1, 0, Provenance::StaticVar);
+            // (re, im) = lattice[site] (two data loads)
+            f.slli(Gpr::T3, Gpr::T3, 4);
+            f.add(Gpr::T4, Gpr::S3, Gpr::T3);
+            f.fload_ptr(Fpr::F1, Gpr::T4, 0, Provenance::StaticVar);
+            f.fload_ptr(Fpr::F2, Gpr::T4, 8, Provenance::StaticVar);
+            // neighbour pair at the variant's correlation distance
+            f.add(Gpr::T5, Gpr::S2, Gpr::S0);
+            f.addi(Gpr::T5, Gpr::T5, (k as i16 % 4) + 1);
+            f.andi(Gpr::T5, Gpr::T5, (SITES - 1) as i16);
+            f.slli(Gpr::T5, Gpr::T5, 4);
+            f.add(Gpr::T6, Gpr::S3, Gpr::T5);
+            f.fload_ptr(Fpr::F3, Gpr::T6, 0, Provenance::StaticVar);
+            f.fload_ptr(Fpr::F4, Gpr::T6, 8, Provenance::StaticVar);
+            // complex multiply-accumulate into the spilled accumulator.
+            f.fmul(Fpr::F5, Fpr::F1, Fpr::F3);
+            f.fmul(Fpr::F6, Fpr::F2, Fpr::F4);
+            f.fsub(Fpr::F5, Fpr::F5, Fpr::F6); // re part
+            f.fmul(Fpr::F7, Fpr::F1, Fpr::F4);
+            f.fmul(Fpr::F8, Fpr::F2, Fpr::F3);
+            f.fadd(Fpr::F7, Fpr::F7, Fpr::F8); // im part
+            f.fload_local(Fpr::F9, acc, 0);
+            f.fadd(Fpr::F9, Fpr::F9, Fpr::F5);
+            f.fstore_local(Fpr::F9, acc, 0);
+            f.fload_local(Fpr::F9, acc, 8);
+            f.fadd(Fpr::F9, Fpr::F9, Fpr::F7);
+            f.fstore_local(Fpr::F9, acc, 8);
+            // write re back to the lattice (data store), damped.
+            f.fmul(Fpr::F5, Fpr::F5, Fpr::F10); // F10 = 0.5, set up by main
+            f.fstore_ptr(Fpr::F5, Gpr::T4, 0, Provenance::StaticVar);
+        });
+        f.fload_local(Fpr::F0, acc, 0);
+        f.cvt_fi(Gpr::V0, Fpr::F0);
+        pb.add_function(slice);
+    }
+
+    let g_cold_scratch = pb.global_zeroed("cold_scratch", 64 * 8);
+    // Cold startup code (init_fields_*): the bulk of a real binary's
+    // static footprint is such once-executed framed code.
+    let cold = add_cold_functions(&mut pb, "init_fields", 215, g_cold_scratch);
+
+    let mut main = FunctionBuilder::new("main");
+    {
+        let f = &mut main;
+        f.save(&[Gpr::S0, Gpr::S1, Gpr::S2]);
+        emit_cold_init(f, &cold);
+        // Heap scratch touched only during initialization (bursty heap).
+        f.malloc_imm(SLICE * 8);
+        f.store_global(Gpr::V0, g_scratch, 0);
+        counted_loop_imm(f, Gpr::S0, Gpr::S1, SLICE, |f| {
+            f.load_global(Gpr::T0, g_scratch, 0);
+            index_addr(f, Gpr::T1, Gpr::T0, Gpr::S0, 3, Gpr::T2);
+            f.store_ptr(Gpr::S0, Gpr::T1, 0, Provenance::HeapBlock);
+        });
+        // 0.5 damping constant in F10 for slice_update.
+        f.li(Gpr::T0, 1);
+        f.cvt_if(Fpr::F10, Gpr::T0);
+        f.li(Gpr::T0, 2);
+        f.cvt_if(Fpr::F11, Gpr::T0);
+        f.fdiv(Fpr::F10, Fpr::F10, Fpr::F11);
+        let slices = scale.apply(170);
+        f.li(Gpr::S2, 0);
+        counted_loop_imm(f, Gpr::S0, Gpr::S1, slices, |f| {
+            f.li(Gpr::T0, 37);
+            f.mul(Gpr::A0, Gpr::S0, Gpr::T0);
+            f.andi(Gpr::A0, Gpr::A0, (SITES - 1) as i16);
+            f.li(Gpr::T0, SLICE_VARIANTS as i64);
+            f.rem(Gpr::T4, Gpr::S0, Gpr::T0);
+            dispatch_call(f, Gpr::T4, Gpr::T5, &slice_names);
+            f.add(Gpr::S2, Gpr::S2, Gpr::V0);
+        });
+        f.andi(Gpr::A0, Gpr::S2, 0x7fff);
+        f.syscall(Syscall::PrintInt);
+    }
+    pb.add_function(main);
+
+    pb.link("main").expect("su2cor workload links")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arl_mem::Region;
+    use arl_sim::{Machine, SlidingWindowProfiler};
+
+    #[test]
+    fn su2cor_streams_the_lattice() {
+        let p = build(Scale::tiny());
+        let mut m = Machine::new(&p);
+        let mut w = SlidingWindowProfiler::new();
+        let outcome = m.run_with(50_000_000, |e| w.observe(e)).expect("executes");
+        assert!(outcome.exited);
+        let s = &w.stats()[0];
+        let (d, h, st) = (
+            s.mean(Region::Data),
+            s.mean(Region::Heap),
+            s.mean(Region::Stack),
+        );
+        assert!(
+            d > st && d > 10.0 * h.max(0.001),
+            "data dominates: D={d} H={h} S={st}"
+        );
+    }
+}

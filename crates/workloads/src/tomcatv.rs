@@ -1,0 +1,197 @@
+//! `tomcatv` — analog of 101.tomcatv.
+//!
+//! Mesh generation: stencils over global coordinate arrays with enough
+//! FP intermediates that many spill to the frame (101.tomcatv's stack mean
+//! exceeds its data mean: S ≈ 6.0 vs D ≈ 4.0), a row-norm helper whose
+//! pointer parameter sees both global rows and a stack-resident row copy
+//! (the paper singles tomcatv out for multi-region instructions), and a
+//! small heap workspace (H ≈ 0.6).
+
+use arl_asm::{FunctionBuilder, Program, ProgramBuilder, Provenance};
+use arl_isa::{Fpr, Gpr, Syscall};
+
+use crate::common::{add_cold_functions, counted_loop_imm, dispatch_call, emit_cold_init};
+use crate::suite::Scale;
+
+const N: i64 = 32;
+const ROW_VARIANTS: usize = 8;
+
+pub(crate) fn build(scale: Scale) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let init_x: Vec<f64> = (0..N * N).map(|i| (i % N) as f64).collect();
+    let init_y: Vec<f64> = (0..N * N).map(|i| (i / N) as f64).collect();
+    let g_x = pb.global_f64s("x", &init_x);
+    let g_y = pb.global_f64s("y", &init_y);
+    let g_rx = pb.global_zeroed("rx", (N * N) as u64 * 8);
+    let g_work = pb.global_zeroed("workspace_ptr", 8);
+
+    // row_norm(a0 = row ptr) -> f0: reduction through a pointer parameter.
+    // Called with global rows *and* a stack row copy → multi-region loads.
+    let mut norm = FunctionBuilder::new("row_norm");
+    {
+        let f = &mut norm;
+        f.save(&[Gpr::S0, Gpr::S1]);
+        let acc = f.local(8);
+        f.cvt_if(Fpr::F0, Gpr::ZERO);
+        f.fstore_local(Fpr::F0, acc, 0);
+        counted_loop_imm(f, Gpr::S0, Gpr::S1, N, |f| {
+            f.slli(Gpr::T0, Gpr::S0, 3);
+            f.add(Gpr::T1, Gpr::A0, Gpr::T0);
+            f.fload_ptr(Fpr::F1, Gpr::T1, 0, Provenance::FunctionParam);
+            f.fmul(Fpr::F1, Fpr::F1, Fpr::F1);
+            f.fload_local(Fpr::F0, acc, 0);
+            f.fadd(Fpr::F0, Fpr::F0, Fpr::F1);
+            f.fstore_local(Fpr::F0, acc, 0);
+        });
+        f.fload_local(Fpr::F0, acc, 0);
+    }
+    pb.add_function(norm);
+
+    // relax_row_k(a0 = row index): stencil over one interior row with
+    // spilled FP intermediates, then norms of the global row and of a
+    // stack copy of it. One variant per residual class, as tomcatv's
+    // unrolled/specialized loop bodies compile.
+    let relax_names: Vec<String> = (0..ROW_VARIANTS)
+        .map(|k| format!("relax_row_{k}"))
+        .collect();
+    for (k, name) in relax_names.iter().enumerate() {
+        let mut relax = FunctionBuilder::new(name);
+        let f = &mut relax;
+        f.save(&[Gpr::S0, Gpr::S1, Gpr::S2, Gpr::S3]);
+        let t_xx = f.local(8);
+        let t_yy = f.local(8);
+        let t_mix = f.local(8);
+        let rowcopy = f.local(N as u32 * 8);
+        // S2 = &x[row*N], S3 = &y[row*N].
+        f.li(Gpr::T0, N * 8);
+        f.mul(Gpr::T1, Gpr::A0, Gpr::T0);
+        f.la_global(Gpr::S2, g_x);
+        f.add(Gpr::S2, Gpr::S2, Gpr::T1);
+        f.la_global(Gpr::S3, g_y);
+        f.add(Gpr::S3, Gpr::S3, Gpr::T1);
+        // rx row base in T8 is recomputed in the loop (T regs die at calls).
+        counted_loop_imm(f, Gpr::S0, Gpr::S1, N - 2, |f| {
+            f.addi(Gpr::T0, Gpr::S0, 1); // col
+            f.slli(Gpr::T0, Gpr::T0, 3);
+            // xx = x[c+1] - 2x[c] + x[c-1]  (spilled)
+            f.add(Gpr::T1, Gpr::S2, Gpr::T0);
+            f.fload_ptr(Fpr::F0, Gpr::T1, 8, Provenance::StaticVar);
+            f.fload_ptr(Fpr::F1, Gpr::T1, 0, Provenance::StaticVar);
+            f.fload_ptr(Fpr::F2, Gpr::T1, -8, Provenance::StaticVar);
+            f.fadd(Fpr::F3, Fpr::F0, Fpr::F2);
+            f.fadd(Fpr::F4, Fpr::F1, Fpr::F1);
+            f.fsub(Fpr::F3, Fpr::F3, Fpr::F4);
+            f.fstore_local(Fpr::F3, t_xx, 0);
+            // yy likewise on y.
+            f.add(Gpr::T2, Gpr::S3, Gpr::T0);
+            f.fload_ptr(Fpr::F0, Gpr::T2, 8, Provenance::StaticVar);
+            f.fload_ptr(Fpr::F1, Gpr::T2, 0, Provenance::StaticVar);
+            f.fload_ptr(Fpr::F2, Gpr::T2, -8, Provenance::StaticVar);
+            f.fadd(Fpr::F3, Fpr::F0, Fpr::F2);
+            f.fadd(Fpr::F4, Fpr::F1, Fpr::F1);
+            f.fsub(Fpr::F3, Fpr::F3, Fpr::F4);
+            f.fstore_local(Fpr::F3, t_yy, 0);
+            // mix = xx * yy (reload both spills), with the variant's
+            // residual weighting.
+            f.fload_local(Fpr::F5, t_xx, 0);
+            f.fload_local(Fpr::F6, t_yy, 0);
+            f.fmul(Fpr::F7, Fpr::F5, Fpr::F6);
+            if k % 2 == 1 {
+                f.fadd(Fpr::F7, Fpr::F7, Fpr::F5);
+            }
+            f.fstore_local(Fpr::F7, t_mix, 0);
+            // rx[row*N + c] = mix; stack row copy too.
+            f.fload_local(Fpr::F7, t_mix, 0);
+            f.la_global(Gpr::T3, g_rx);
+            f.la_global(Gpr::T5, g_x);
+            f.sub(Gpr::T4, Gpr::S2, Gpr::T5); // byte offset of this row
+            f.add(Gpr::T3, Gpr::T3, Gpr::T4);
+            f.add(Gpr::T3, Gpr::T3, Gpr::T0);
+            f.fstore_ptr(Fpr::F7, Gpr::T3, 0, Provenance::StaticVar);
+            f.addr_of_local(Gpr::T6, rowcopy, 0);
+            f.add(Gpr::T6, Gpr::T6, Gpr::T0);
+            f.fstore_ptr(Fpr::F7, Gpr::T6, 0, Provenance::PointsToStack);
+        });
+        // Norm of the global x row, then of the stack copy — the same
+        // static loads in row_norm touch data and stack.
+        f.mov(Gpr::A0, Gpr::S2);
+        f.call("row_norm");
+        f.addr_of_local(Gpr::A0, rowcopy, 0);
+        f.call("row_norm");
+        f.cvt_fi(Gpr::V0, Fpr::F0);
+        f.addi(Gpr::V0, Gpr::V0, k as i16);
+        pb.add_function(relax);
+    }
+
+    let g_cold_scratch = pb.global_zeroed("cold_scratch", 64 * 8);
+    // Cold startup code (init_mesh_*): the bulk of a real binary's
+    // static footprint is such once-executed framed code.
+    let cold = add_cold_functions(&mut pb, "init_mesh", 80, g_cold_scratch);
+
+    let mut main = FunctionBuilder::new("main");
+    {
+        let f = &mut main;
+        f.save(&[Gpr::S0, Gpr::S1, Gpr::S2, Gpr::S3]);
+        emit_cold_init(f, &cold);
+        // Small heap workspace, refreshed once per sweep (light heap).
+        f.malloc_imm(N * 8);
+        f.store_global(Gpr::V0, g_work, 0);
+        let sweeps = scale.apply(320);
+        f.li(Gpr::S3, 0);
+        counted_loop_imm(f, Gpr::S0, Gpr::S1, sweeps, |f| {
+            // Rotate through interior rows.
+            f.li(Gpr::T0, N - 2);
+            f.rem(Gpr::A0, Gpr::S0, Gpr::T0);
+            f.addi(Gpr::A0, Gpr::A0, 1);
+            f.li(Gpr::T0, ROW_VARIANTS as i64);
+            f.rem(Gpr::T4, Gpr::S0, Gpr::T0);
+            dispatch_call(f, Gpr::T4, Gpr::T5, &relax_names);
+            f.add(Gpr::S3, Gpr::S3, Gpr::V0);
+            // Touch the heap workspace a little.
+            f.load_global(Gpr::T0, g_work, 0);
+            f.andi(Gpr::T1, Gpr::S0, (N - 1) as i16);
+            f.slli(Gpr::T1, Gpr::T1, 3);
+            f.add(Gpr::T0, Gpr::T0, Gpr::T1);
+            f.load_ptr(Gpr::T2, Gpr::T0, 0, Provenance::HeapBlock);
+            f.add(Gpr::T2, Gpr::T2, Gpr::S0);
+            f.store_ptr(Gpr::T2, Gpr::T0, 0, Provenance::HeapBlock);
+        });
+        f.andi(Gpr::A0, Gpr::S3, 0x7fff);
+        f.syscall(Syscall::PrintInt);
+    }
+    pb.add_function(main);
+
+    pb.link("main").expect("tomcatv workload links")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arl_mem::Region;
+    use arl_sim::{Machine, RegionProfiler, SlidingWindowProfiler};
+
+    #[test]
+    fn tomcatv_spills_and_mixes_regions() {
+        let p = build(Scale::tiny());
+        let mut m = Machine::new(&p);
+        let mut rp = RegionProfiler::new();
+        let mut w = SlidingWindowProfiler::new();
+        let outcome = m
+            .run_with(50_000_000, |e| {
+                rp.observe(e);
+                w.observe(e);
+            })
+            .expect("executes");
+        assert!(outcome.exited);
+        let s = &w.stats()[0];
+        let (d, h, st) = (
+            s.mean(Region::Data),
+            s.mean(Region::Heap),
+            s.mean(Region::Stack),
+        );
+        assert!(st > d, "spills push stack above data: D={d} S={st}");
+        assert!(h > 0.0 && h < d, "heap present but small: H={h}");
+        // row_norm's loads see both data and stack.
+        assert!(rp.breakdown().dynamic_multi_region_fraction() > 0.003);
+    }
+}

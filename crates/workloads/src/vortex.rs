@@ -1,0 +1,216 @@
+//! `vortex` — analog of 147.vortex.
+//!
+//! An object-store kernel: fixed-size records live on the heap; every
+//! transaction funnels through layers of small procedures that copy records
+//! into stack buffers, validate them field by field, and write them back.
+//! 147.vortex is the most stack-bound program in the paper's Table 2
+//! (S ≈ 11.8 vs D ≈ 1.9, H ≈ 2.8 per 32) thanks to exactly this
+//! copy-to-frame, call-dense style.
+//!
+//! Real vortex is an OO database with per-type methods; this analog gives
+//! each of its 24 object types its own `validate_k`/`update_k` pair,
+//! yielding a Table 3-scale static footprint.
+
+use arl_asm::{FunctionBuilder, Program, ProgramBuilder, Provenance};
+use arl_isa::{BranchCond, Gpr, Syscall};
+
+use crate::common::{
+    add_cold_functions, counted_loop_imm, dispatch_call, emit_cold_init, index_addr,
+};
+use crate::suite::Scale;
+
+const POOL: i64 = 64; // records in the store
+const FIELDS: i64 = 8; // 8 × 8-byte fields per record
+const TYPES: usize = 24;
+
+pub(crate) fn build(scale: Scale) -> Program {
+    let mut pb = ProgramBuilder::new();
+    // Directory of record pointers lives in the data region.
+    let g_dir = pb.global_zeroed("directory", POOL as u64 * 8);
+    let g_status = pb.global_zeroed("status", 8);
+    // Per-field schema descriptors (validation masks), one row per type.
+    let schema: Vec<i64> = (0..TYPES as i64 * FIELDS)
+        .map(|i| 0x7fff >> (i % 5))
+        .collect();
+    let g_schema = pb.global_words("schema", &schema);
+
+    // check_field(a0 = value, a1 = schema index) -> v0: a tiny routine with
+    // a frame — pure stack churn, called per field — that consults the
+    // schema descriptor (one data load).
+    let mut check = FunctionBuilder::new("check_field");
+    {
+        let f = &mut check;
+        let tmp = f.local(8);
+        f.xor(Gpr::T0, Gpr::A0, Gpr::A1);
+        f.store_local(Gpr::T0, tmp, 0);
+        f.la_global(Gpr::T1, g_schema);
+        index_addr(f, Gpr::T2, Gpr::T1, Gpr::A1, 3, Gpr::T3);
+        f.load_ptr(Gpr::T4, Gpr::T2, 0, Provenance::StaticVar);
+        f.load_local(Gpr::T1, tmp, 0);
+        f.and(Gpr::V0, Gpr::T1, Gpr::T4);
+    }
+    pb.add_function(check);
+
+    // validate_k(a0 = record ptr) -> v0 = checksum: the type-k method.
+    // Copies the record into a stack buffer (the vortex idiom), then runs
+    // check_field over the copy against type k's schema row.
+    let validate_names: Vec<String> = (0..TYPES).map(|k| format!("validate_{k}")).collect();
+    for (k, name) in validate_names.iter().enumerate() {
+        let mut validate = FunctionBuilder::new(name);
+        let f = &mut validate;
+        f.save(&[Gpr::S0, Gpr::S1, Gpr::S2]);
+        let buf = f.local(FIELDS as u32 * 8);
+        f.mov(Gpr::S0, Gpr::A0);
+        // Copy heap record → stack buffer, in a type-specific field order.
+        for i in 0..FIELDS {
+            let field = (i + k as i64) % FIELDS;
+            f.load_ptr(Gpr::T0, Gpr::S0, (field * 8) as i16, Provenance::HeapBlock);
+            f.store_local(Gpr::T0, buf, (i * 8) as i16);
+        }
+        // Validate each field of the copy.
+        f.li(Gpr::S1, 0); // checksum
+        f.li(Gpr::S2, 0); // field index
+        let top = f.new_label();
+        let done = f.new_label();
+        f.bind(top);
+        f.li(Gpr::T0, FIELDS);
+        f.br(BranchCond::Ge, Gpr::S2, Gpr::T0, done);
+        f.slli(Gpr::T1, Gpr::S2, 3);
+        f.addr_of_local(Gpr::T2, buf, 0);
+        f.add(Gpr::T2, Gpr::T2, Gpr::T1);
+        // This deref's pointer provably targets the frame.
+        f.load_ptr(Gpr::A0, Gpr::T2, 0, Provenance::PointsToStack);
+        // schema index = type row + field.
+        f.addi(Gpr::A1, Gpr::S2, (k as i64 * FIELDS) as i16);
+        f.call("check_field");
+        f.add(Gpr::S1, Gpr::S1, Gpr::V0);
+        f.addi(Gpr::S2, Gpr::S2, 1);
+        f.j(top);
+        f.bind(done);
+        f.mov(Gpr::V0, Gpr::S1);
+        pb.add_function(validate);
+    }
+
+    // update_k(a0 = record ptr, a1 = seed): the type-k mutator — stages new
+    // values on the stack, then commits to the heap in type order.
+    let update_names: Vec<String> = (0..TYPES).map(|k| format!("update_{k}")).collect();
+    for (k, name) in update_names.iter().enumerate() {
+        let mut update = FunctionBuilder::new(name);
+        let f = &mut update;
+        f.save(&[Gpr::S0, Gpr::S1]);
+        let stage = f.local(FIELDS as u32 * 8);
+        f.mov(Gpr::S0, Gpr::A0);
+        f.mov(Gpr::S1, Gpr::A1);
+        for i in 0..FIELDS {
+            f.li(Gpr::T0, 0x1f3 * (i + 1) + k as i64);
+            f.mul(Gpr::T0, Gpr::T0, Gpr::S1);
+            f.andi(Gpr::T0, Gpr::T0, 0x3fff);
+            f.store_local(Gpr::T0, stage, (i * 8) as i16);
+        }
+        for i in 0..FIELDS {
+            let field = (i + k as i64) % FIELDS;
+            f.load_local(Gpr::T0, stage, (i * 8) as i16);
+            f.store_ptr(Gpr::T0, Gpr::S0, (field * 8) as i16, Provenance::HeapBlock);
+        }
+        pb.add_function(update);
+    }
+
+    // txn(a0 = record index, a1 = seed) -> v0: one transaction — directory
+    // lookup (data), validate, update, validate again, all through the
+    // record's type methods.
+    let mut txn = FunctionBuilder::new("txn");
+    {
+        let f = &mut txn;
+        f.save(&[Gpr::S0, Gpr::S1, Gpr::S2]);
+        f.mov(Gpr::S1, Gpr::A1);
+        // type = index % TYPES
+        f.li(Gpr::T0, TYPES as i64);
+        f.rem(Gpr::S2, Gpr::A0, Gpr::T0);
+        f.la_global(Gpr::T0, g_dir);
+        index_addr(f, Gpr::T1, Gpr::T0, Gpr::A0, 3, Gpr::T2);
+        f.load_ptr(Gpr::S0, Gpr::T1, 0, Provenance::StaticVar); // record ptr
+        f.mov(Gpr::A0, Gpr::S0);
+        dispatch_call(f, Gpr::S2, Gpr::T3, &validate_names);
+        f.mov(Gpr::A1, Gpr::S1);
+        f.mov(Gpr::A0, Gpr::S0);
+        dispatch_call(f, Gpr::S2, Gpr::T3, &update_names);
+        f.mov(Gpr::A0, Gpr::S0);
+        dispatch_call(f, Gpr::S2, Gpr::T3, &validate_names);
+    }
+    pb.add_function(txn);
+
+    // main: build the store, then run transactions.
+    let g_cold_scratch = pb.global_zeroed("cold_scratch", 64 * 8);
+    // Cold startup code (init_schema_*): the bulk of a real binary's
+    // static footprint is such once-executed framed code.
+    let cold = add_cold_functions(&mut pb, "init_schema", 700, g_cold_scratch);
+
+    let mut main = FunctionBuilder::new("main");
+    {
+        let f = &mut main;
+        f.save(&[Gpr::S0, Gpr::S1, Gpr::S2, Gpr::S3]);
+        emit_cold_init(f, &cold);
+        // Populate the directory with heap records.
+        counted_loop_imm(f, Gpr::S0, Gpr::S2, POOL, |f| {
+            f.malloc_imm(FIELDS * 8);
+            f.la_global(Gpr::T0, g_dir);
+            index_addr(f, Gpr::T1, Gpr::T0, Gpr::S0, 3, Gpr::T2);
+            f.store_ptr(Gpr::V0, Gpr::T1, 0, Provenance::StaticVar);
+            for i in 0..FIELDS {
+                f.addi(Gpr::T3, Gpr::S0, (i * 3) as i16);
+                f.store_ptr(Gpr::T3, Gpr::V0, (i * 8) as i16, Provenance::HeapBlock);
+            }
+        });
+        let txns = scale.apply(1_500);
+        f.li(Gpr::S3, 0);
+        counted_loop_imm(f, Gpr::S0, Gpr::S2, txns, |f| {
+            f.li(Gpr::T0, 61);
+            f.mul(Gpr::A0, Gpr::S0, Gpr::T0);
+            f.andi(Gpr::A0, Gpr::A0, (POOL - 1) as i16);
+            f.addi(Gpr::A1, Gpr::S0, 1);
+            f.call("txn");
+            f.add(Gpr::S3, Gpr::S3, Gpr::V0);
+        });
+        // Publish the checksum (data store) and print it.
+        f.store_global(Gpr::S3, g_status, 0);
+        f.andi(Gpr::A0, Gpr::S3, 0x7fff);
+        f.syscall(Syscall::PrintInt);
+    }
+    pb.add_function(main);
+
+    pb.link("main").expect("vortex workload links")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arl_mem::Region;
+    use arl_sim::{Machine, SlidingWindowProfiler};
+
+    #[test]
+    fn vortex_is_the_stack_heaviest() {
+        let p = build(Scale::tiny());
+        let mut m = Machine::new(&p);
+        let mut w = SlidingWindowProfiler::new();
+        let outcome = m.run_with(50_000_000, |e| w.observe(e)).expect("executes");
+        assert!(outcome.exited);
+        let s = &w.stats()[0];
+        let (d, h, st) = (
+            s.mean(Region::Data),
+            s.mean(Region::Heap),
+            s.mean(Region::Stack),
+        );
+        assert!(
+            st > 2.0 * h && st > 2.0 * d,
+            "stack must dwarf other regions: D={d} H={h} S={st}"
+        );
+        assert!(h > d, "records on the heap outweigh directory loads");
+    }
+
+    #[test]
+    fn vortex_type_methods_give_a_large_footprint() {
+        let p = build(Scale::tiny());
+        let static_mem = p.static_mem_instructions().count();
+        assert!(static_mem > 600, "24 type method pairs: {static_mem}");
+    }
+}

@@ -1,0 +1,97 @@
+//! Predictor design-space exploration on one workload: counter schemes ×
+//! context schemes × table sizes, with and without compiler hints.
+//!
+//! ```text
+//! cargo run --release --example predictor_explorer -- perl
+//! ```
+
+use arl::core::{Capacity, Context, EvalConfig, Evaluator, HintTable, PredictorKind};
+use arl::sim::Machine;
+use arl::stats::TableBuilder;
+use arl::workloads::{workload, Scale};
+
+fn run(program: &arl::asm::Program, config: EvalConfig) -> (f64, Option<usize>) {
+    let mut machine = Machine::new(program);
+    let mut evaluator = Evaluator::new(config);
+    machine
+        .run_with(2_000_000_000, |e| evaluator.observe(e))
+        .expect("workload executes");
+    (evaluator.stats().accuracy(), evaluator.arpt_occupied())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "perl".to_string());
+    let spec = workload(&name)
+        .ok_or_else(|| format!("unknown workload `{name}` (try: go, gcc, li, vortex, ...)"))?;
+    let program = spec.build(Scale::default());
+    let hints = HintTable::from_program(&program);
+
+    println!(
+        "{} ({}) — predictor design space\n",
+        spec.name, spec.spec_name
+    );
+
+    let contexts: [(&str, Context); 4] = [
+        ("none", Context::None),
+        ("gbh8", Context::Gbh { bits: 8 }),
+        ("cid24", Context::Cid { bits: 24 }),
+        ("hybrid", Context::HYBRID_8_24),
+    ];
+    let mut t = TableBuilder::new(&["scheme", "context", "capacity", "accuracy", "entries"]);
+    for kind in [PredictorKind::OneBit, PredictorKind::TwoBit] {
+        for (cname, context) in contexts {
+            for (capname, capacity) in [
+                ("unlimited", Capacity::Unlimited),
+                ("32K", Capacity::Entries(1 << 15)),
+                ("8K", Capacity::Entries(1 << 13)),
+            ] {
+                let (acc, occupied) = run(
+                    &program,
+                    EvalConfig {
+                        kind,
+                        context,
+                        capacity,
+                        hints: None,
+                    },
+                );
+                t.row(&[
+                    format!("{kind:?}"),
+                    cname.to_string(),
+                    capname.to_string(),
+                    format!("{:.3}%", 100.0 * acc),
+                    occupied.map(|n| n.to_string()).unwrap_or_default(),
+                ]);
+            }
+        }
+    }
+    println!("{}", t.render());
+
+    // The compiler-hint effect (Figure 6 analysis over builder knowledge).
+    let (without, _) = run(
+        &program,
+        EvalConfig {
+            kind: PredictorKind::OneBit,
+            context: Context::HYBRID_8_24,
+            capacity: Capacity::Entries(1 << 13),
+            hints: None,
+        },
+    );
+    let (with, _) = run(
+        &program,
+        EvalConfig {
+            kind: PredictorKind::OneBit,
+            context: Context::HYBRID_8_24,
+            capacity: Capacity::Entries(1 << 13),
+            hints: Some(hints.clone()),
+        },
+    );
+    println!(
+        "8K hybrid without hints: {:.3}%   with Figure 6 compiler hints: {:.3}%  ({} definite tags)",
+        100.0 * without,
+        100.0 * with,
+        hints.definite_count()
+    );
+    Ok(())
+}

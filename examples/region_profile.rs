@@ -1,0 +1,70 @@
+//! Region profiling: run one workload (default `li`, or pass a name) and
+//! print its Figure 2-style static breakdown and Table 2-style window
+//! statistics.
+//!
+//! ```text
+//! cargo run --release --example region_profile -- vortex
+//! ```
+
+use arl::mem::{Region, RegionSet};
+use arl::sim::{Machine, RegionProfiler, SlidingWindowProfiler, WorkloadCharacter};
+use arl::stats::TableBuilder;
+use arl::workloads::{workload, Scale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "li".to_string());
+    let spec = workload(&name)
+        .ok_or_else(|| format!("unknown workload `{name}` (try: go, gcc, li, vortex, ...)"))?;
+    let program = spec.build(Scale::default());
+
+    let mut machine = Machine::new(&program);
+    let mut regions = RegionProfiler::new();
+    let mut windows = SlidingWindowProfiler::new();
+    let mut character = WorkloadCharacter::default();
+    machine.run_with(2_000_000_000, |e| {
+        regions.observe(e);
+        windows.observe(e);
+        character.observe(e);
+    })?;
+
+    println!(
+        "{} ({}): {} instructions, {:.0}% loads, {:.0}% stores",
+        spec.name,
+        spec.spec_name,
+        character.instructions,
+        character.load_pct(),
+        character.store_pct()
+    );
+
+    let b = regions.breakdown();
+    let mut t = TableBuilder::new(&["class", "static", "static %", "dynamic refs"]);
+    for (i, label) in RegionSet::CLASS_LABELS.iter().enumerate() {
+        if b.static_counts[i] > 0 {
+            t.row(&[
+                label.to_string(),
+                b.static_counts[i].to_string(),
+                format!(
+                    "{:.1}",
+                    100.0 * b.static_counts[i] as f64 / b.static_total() as f64
+                ),
+                b.dynamic_counts[i].to_string(),
+            ]);
+        }
+    }
+    println!("\nAccess-region classes (Figure 2 style):\n{}", t.render());
+    println!(
+        "multi-region: {:.2}% of static instructions, {:.2}% of dynamic references",
+        100.0 * b.static_multi_region_fraction(),
+        100.0 * b.dynamic_multi_region_fraction()
+    );
+
+    println!("\nSliding-window bandwidth (Table 2 style):");
+    for w in windows.stats() {
+        print!("  window {:>2}:", w.window);
+        for r in Region::DATA_REGIONS {
+            print!("  {} {:.2} ({:.2})", r.letter(), w.mean(r), w.stddev(r));
+        }
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,153 @@
+//! Cross-crate integration: every workload runs end to end through the
+//! functional simulator with all Section 3 profilers attached, and the
+//! collected statistics are internally consistent.
+
+use arl::mem::Region;
+use arl::sim::{Machine, RegionProfiler, SlidingWindowProfiler, WorkloadCharacter};
+use arl::workloads::{suite, Scale};
+
+const CAP: u64 = 100_000_000;
+
+#[test]
+fn all_workloads_run_to_completion_and_are_deterministic() {
+    for spec in suite() {
+        let program = spec.build(Scale::tiny());
+        let mut a = Machine::new(&program);
+        let oa = a.run(CAP).expect("first run");
+        assert!(oa.exited, "{} must exit", spec.name);
+        let mut b = Machine::new(&program);
+        let ob = b.run(CAP).expect("second run");
+        assert_eq!(oa.retired, ob.retired, "{} determinism", spec.name);
+        assert_eq!(a.output(), b.output(), "{} output determinism", spec.name);
+        assert!(
+            oa.retired > 10_000,
+            "{} must do real work: {}",
+            spec.name,
+            oa.retired
+        );
+    }
+}
+
+#[test]
+fn profiler_totals_are_consistent() {
+    for spec in suite() {
+        let program = spec.build(Scale::tiny());
+        let mut m = Machine::new(&program);
+        let mut regions = RegionProfiler::new();
+        let mut character = WorkloadCharacter::default();
+        m.run_with(CAP, |e| {
+            regions.observe(e);
+            character.observe(e);
+        })
+        .expect("runs");
+        let b = regions.breakdown();
+        // Dynamic refs attributed to classes must equal the load+store count.
+        assert_eq!(
+            b.dynamic_total(),
+            character.references(),
+            "{}: class totals must cover every reference",
+            spec.name
+        );
+        // Per-region window means times instruction count roughly recover
+        // the per-region totals (window mean = refs/instr × window size).
+        assert_eq!(
+            character.per_region.iter().sum::<u64>(),
+            character.references(),
+            "{}: regions partition the references",
+            spec.name
+        );
+        assert!(b.static_total() > 0);
+    }
+}
+
+#[test]
+fn access_region_locality_holds_for_every_workload() {
+    // The paper's headline observation (Figure 2): the overwhelming
+    // majority of static memory instructions are single-region, and the
+    // stack-only class is the largest on average (>50% in the paper).
+    let (mut stack_share_sum, mut n) = (0.0, 0);
+    for spec in suite() {
+        let program = spec.build(Scale::tiny());
+        let mut m = Machine::new(&program);
+        let mut regions = RegionProfiler::new();
+        m.run_with(CAP, |e| regions.observe(e)).expect("runs");
+        let b = regions.breakdown();
+        assert!(
+            b.static_multi_region_fraction() < 0.10,
+            "{}: single-region locality must dominate ({:.2}% multi)",
+            spec.name,
+            100.0 * b.static_multi_region_fraction()
+        );
+        // Spills/locals exist everywhere, even in leaf-heavy code.
+        assert!(
+            b.static_fraction("S") > 0.03,
+            "{}: stack class present",
+            spec.name
+        );
+        stack_share_sum += b.static_fraction("S");
+        n += 1;
+    }
+    assert!(
+        stack_share_sum / n as f64 > 0.4,
+        "stack-only is the dominant static class on average: {}",
+        stack_share_sum / n as f64
+    );
+}
+
+#[test]
+fn fp_workloads_have_negligible_heap_traffic() {
+    for spec in suite().into_iter().filter(|s| s.is_fp) {
+        let program = spec.build(Scale::tiny());
+        let mut m = Machine::new(&program);
+        let mut windows = SlidingWindowProfiler::new();
+        m.run_with(CAP, |e| windows.observe(e)).expect("runs");
+        let w32 = &windows.stats()[0];
+        assert!(
+            w32.mean(Region::Heap) < 0.25,
+            "{}: FP programs barely touch the heap ({:.2})",
+            spec.name,
+            w32.mean(Region::Heap)
+        );
+    }
+}
+
+#[test]
+fn window_doubling_doubles_the_means() {
+    // Table 2's W64 means are ≈ 2 × W32 means (density is scale-free).
+    let spec = arl::workloads::workload("su2cor").unwrap();
+    let program = spec.build(Scale::tiny());
+    let mut m = Machine::new(&program);
+    let mut windows = SlidingWindowProfiler::new();
+    m.run_with(CAP, |e| windows.observe(e)).expect("runs");
+    let stats = windows.stats();
+    for r in Region::DATA_REGIONS {
+        let (m32, m64) = (stats[0].mean(r), stats[1].mean(r));
+        if m32 > 0.5 {
+            let ratio = m64 / m32;
+            assert!(
+                (1.9..2.1).contains(&ratio),
+                "window-64 mean should double window-32: {r} {ratio}"
+            );
+        }
+    }
+}
+
+#[test]
+fn object_images_execute_identically() {
+    // Build → save → reload → run: the reloaded binary must behave
+    // byte-for-byte like the original (the paper's "existing binaries"
+    // story).
+    for name in ["li", "compress"] {
+        let spec = arl::workloads::workload(name).unwrap();
+        let original = spec.build(Scale::tiny());
+        let bytes = original.to_object_bytes();
+        let reloaded = arl::asm::Program::from_object_bytes(&bytes).expect("valid image");
+        let mut a = Machine::new(&original);
+        let mut b = Machine::new(&reloaded);
+        let oa = a.run(CAP).unwrap();
+        let ob = b.run(CAP).unwrap();
+        assert!(oa.exited && ob.exited);
+        assert_eq!(oa.retired, ob.retired, "{name}: same instruction count");
+        assert_eq!(a.output(), b.output(), "{name}: same output");
+    }
+}
