@@ -1,8 +1,14 @@
-//! Criterion microbenchmarks for the simulator's hot structures: ARPT
+//! Microbenchmarks for the simulator's hot structures: ARPT
 //! lookup/update, cache access, value prediction, the functional
 //! simulator's instruction throughput, and the cycle-level pipeline.
+//!
+//! Hand-rolled harness (no registry access for Criterion in this build
+//! environment): each benchmark runs a warm-up pass, then reports the
+//! best-of-N wall-clock throughput. Run with
+//! `cargo bench -p arl-bench`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Instant;
 
 use arl_core::{Arpt, Capacity, Context, CounterScheme};
 use arl_mem::{HeapAllocator, Layout, MemImage};
@@ -10,140 +16,124 @@ use arl_sim::Machine;
 use arl_timing::{Cache, CacheConfig, MachineConfig, StridePredictor, TimingSim};
 use arl_workloads::{workload, Scale};
 
-fn bench_arpt(c: &mut Criterion) {
-    let mut group = c.benchmark_group("arpt");
-    group.throughput(Throughput::Elements(1));
+/// Runs `f` (which performs `elems` operations) `samples` times after one
+/// warm-up and prints the fastest per-op rate.
+fn bench(name: &str, elems: u64, samples: u32, mut f: impl FnMut()) {
+    f(); // warm-up
+    let mut best = f64::INFINITY;
+    for _ in 0..samples {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    let rate = elems as f64 / best;
+    println!("{name:<40} {:>12.0} ops/s   ({best:.6} s / {elems} ops)", rate);
+}
+
+fn bench_arpt() {
     let mut limited = Arpt::new(
         CounterScheme::OneBit,
         Context::HYBRID_8_7,
         Capacity::Entries(1 << 15),
     );
-    let mut i = 0u64;
-    group.bench_function("predict_update_32k_hybrid", |b| {
-        b.iter(|| {
+    const N: u64 = 1_000_000;
+    bench("arpt/predict_update_32k_hybrid", N, 10, || {
+        for i in 0..N {
             let pc = 0x40_0000 + (i % 4096) * 8;
             let p = limited.predict(pc, i, 0x40_0000 + (i % 7) * 64);
             limited.update(pc, i, 0x40_0000 + (i % 7) * 64, !p);
-            i = i.wrapping_add(1);
-        })
+        }
     });
     let mut unlimited = Arpt::new(
         CounterScheme::OneBit,
         Context::HYBRID_8_24,
         Capacity::Unlimited,
     );
-    group.bench_function("predict_update_unlimited", |b| {
-        b.iter(|| {
+    bench("arpt/predict_update_unlimited", N, 10, || {
+        for i in 0..N {
             let pc = 0x40_0000 + (i % 4096) * 8;
             unlimited.update(pc, i, 0, i & 1 == 0);
-            i = i.wrapping_add(1);
-        })
+        }
     });
-    group.finish();
 }
 
-fn bench_cache(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cache");
-    group.throughput(Throughput::Elements(1));
+fn bench_cache() {
     let mut l1 = Cache::new(CacheConfig::l1_data(2, 2));
-    let mut addr = 0u64;
-    group.bench_function("l1_access_streaming", |b| {
-        b.iter(|| {
-            l1.access(0x1000_0000 + (addr % (1 << 20)));
-            addr = addr.wrapping_add(32);
-        })
+    const N: u64 = 1_000_000;
+    bench("cache/l1_access_streaming", N, 10, || {
+        for i in 0..N {
+            black_box(l1.access(0x1000_0000 + (i * 32) % (1 << 20)));
+        }
     });
-    group.finish();
 }
 
-fn bench_value_predictor(c: &mut Criterion) {
-    let mut group = c.benchmark_group("value_predictor");
-    group.throughput(Throughput::Elements(1));
+fn bench_value_predictor() {
     let mut vp = StridePredictor::table4();
-    let mut i = 0i64;
-    group.bench_function("update_strided", |b| {
-        b.iter(|| {
+    const N: u64 = 1_000_000;
+    bench("value_predictor/update_strided", N, 10, || {
+        for i in 0..N as i64 {
             vp.update(0x40_0000 + (i as u64 % 512) * 8, i * 4);
-            i += 1;
-        })
+        }
     });
-    group.finish();
 }
 
-fn bench_mem_substrate(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mem");
-    group.throughput(Throughput::Elements(1));
+fn bench_mem_substrate() {
     let mut image = MemImage::new();
-    let mut addr = 0u64;
-    group.bench_function("image_write_read_u64", |b| {
-        b.iter(|| {
-            image.write_u64(0x1000_0000 + (addr % (1 << 16)), addr);
-            let v = image.read_u64(0x1000_0000 + (addr % (1 << 16)));
-            addr = addr.wrapping_add(8);
-            v
-        })
+    const N: u64 = 1_000_000;
+    bench("mem/image_write_read_u64", N, 10, || {
+        for i in 0..N {
+            let addr = 0x1000_0000 + (i * 8) % (1 << 16);
+            image.write_u64(addr, i);
+            black_box(image.read_u64(addr));
+        }
     });
-    group.bench_function("malloc_free_pairs", |b| {
-        b.iter_batched(
-            || HeapAllocator::new(&Layout::default()),
-            |mut alloc| {
-                let mut ptrs = Vec::with_capacity(64);
-                for i in 0..64 {
-                    ptrs.push(alloc.malloc(16 + (i % 5) * 8).unwrap());
-                }
-                for p in ptrs {
-                    alloc.free(p).unwrap();
-                }
-            },
-            BatchSize::SmallInput,
-        )
+    const PAIRS: u64 = 64;
+    bench("mem/malloc_free_pairs", PAIRS, 200, || {
+        let mut alloc = HeapAllocator::new(&Layout::default());
+        let mut ptrs = Vec::with_capacity(PAIRS as usize);
+        for i in 0..PAIRS {
+            ptrs.push(alloc.malloc(16 + (i % 5) * 8).unwrap());
+        }
+        for p in ptrs {
+            alloc.free(p).unwrap();
+        }
     });
-    group.finish();
 }
 
-fn bench_functional_sim(c: &mut Criterion) {
-    let mut group = c.benchmark_group("functional_sim");
-    let program = workload("compress").unwrap().build(Scale::tiny());
-    // Instructions retired per full run (constant for a deterministic
-    // program): measure instructions/second.
-    let mut probe = Machine::new(&program);
-    probe.run(100_000_000).unwrap();
-    group.throughput(Throughput::Elements(probe.retired()));
-    group.sample_size(20);
-    group.bench_function("compress_tiny_full_run", |b| {
-        b.iter(|| {
-            let mut m = Machine::new(&program);
-            m.run(100_000_000).unwrap()
-        })
-    });
-    group.finish();
-}
-
-fn bench_timing_sim(c: &mut Criterion) {
-    let mut group = c.benchmark_group("timing_sim");
+fn bench_functional_sim() {
     let program = workload("compress").unwrap().build(Scale::tiny());
     let mut probe = Machine::new(&program);
     probe.run(100_000_000).unwrap();
-    group.throughput(Throughput::Elements(probe.retired()));
-    group.sample_size(10);
+    bench("functional_sim/compress_tiny_full_run", probe.retired(), 20, || {
+        let mut m = Machine::new(&program);
+        black_box(m.run(100_000_000).unwrap());
+    });
+}
+
+fn bench_timing_sim() {
+    let program = workload("compress").unwrap().build(Scale::tiny());
+    let mut probe = Machine::new(&program);
+    probe.run(100_000_000).unwrap();
     for config in [
         MachineConfig::baseline_2_0(),
         MachineConfig::decoupled(3, 3),
     ] {
-        group.bench_function(format!("compress_tiny_{}", config.name), |b| {
-            b.iter(|| TimingSim::run_program(&program, &config))
-        });
+        bench(
+            &format!("timing_sim/compress_tiny_{}", config.name),
+            probe.retired(),
+            10,
+            || {
+                black_box(TimingSim::run_program(&program, &config));
+            },
+        );
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_arpt,
-    bench_cache,
-    bench_value_predictor,
-    bench_mem_substrate,
-    bench_functional_sim,
-    bench_timing_sim
-);
-criterion_main!(benches);
+fn main() {
+    bench_arpt();
+    bench_cache();
+    bench_value_predictor();
+    bench_mem_substrate();
+    bench_functional_sim();
+    bench_timing_sim();
+}

@@ -3,36 +3,6 @@
 //! configuration with a 64 KB data cache (by less than 1%)" — the baseline
 //! is bandwidth-bound, not capacity-bound.
 
-use arl_bench::scale_from_env;
-use arl_stats::TableBuilder;
-use arl_timing::{MachineConfig, TimingSim};
-use arl_workloads::suite;
-
 fn main() {
-    let scale = scale_from_env();
-    let mut table = TableBuilder::new(&["Benchmark", "64KB cycles", "128KB cycles", "gain %"]);
-    let mut total_gain = 0.0;
-    let suite = suite();
-    for spec in &suite {
-        let program = spec.build(scale);
-        let base = TimingSim::run_program(&program, &MachineConfig::baseline_2_0());
-        let mut big = MachineConfig::baseline_2_0();
-        big.dcache.size_bytes = 128 * 1024;
-        big.name = "(2+0)/128KB".into();
-        let wide = TimingSim::run_program(&program, &big);
-        let gain = 100.0 * (base.cycles as f64 / wide.cycles as f64 - 1.0);
-        total_gain += gain;
-        table.row(&[
-            spec.spec_name.to_string(),
-            base.cycles.to_string(),
-            wide.cycles.to_string(),
-            format!("{gain:+.2}"),
-        ]);
-    }
-    println!("Ablation: doubling the baseline L1 capacity (ports stay at 2)");
-    println!("{}", table.render());
-    println!(
-        "Average gain: {:+.2}% — capacity is not the baseline's bottleneck",
-        total_gain / suite.len() as f64
-    );
+    arl_bench::run_main(arl_bench::ablation_l1size);
 }

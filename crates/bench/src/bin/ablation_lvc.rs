@@ -3,42 +3,6 @@
 //! 99.5% hit rate for the SPEC95 benchmark programs, with an average of
 //! about 99.9%".
 
-use arl_bench::scale_from_env;
-use arl_stats::TableBuilder;
-use arl_timing::{CacheConfig, MachineConfig, TimingSim};
-use arl_workloads::suite;
-
 fn main() {
-    let scale = scale_from_env();
-    let sizes = [1u64, 2, 4, 8];
-    let mut header = vec!["Benchmark".to_string()];
-    header.extend(sizes.iter().map(|k| format!("{k}KB hit%")));
-    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
-    let mut table = TableBuilder::new(&header_refs);
-    let mut avg = vec![0.0f64; sizes.len()];
-    let suite = suite();
-    for spec in &suite {
-        let program = spec.build(scale);
-        let mut row = vec![spec.spec_name.to_string()];
-        for (i, kb) in sizes.iter().enumerate() {
-            let mut config = MachineConfig::decoupled(2, 2);
-            config.lvc = Some(CacheConfig {
-                size_bytes: kb * 1024,
-                ..CacheConfig::lvc(2)
-            });
-            config.name = format!("(2+2)/{kb}KB");
-            let stats = TimingSim::run_program(&program, &config);
-            let rate = stats.lvc.expect("decoupled machine").hit_rate();
-            avg[i] += rate;
-            row.push(format!("{:.2}", 100.0 * rate));
-        }
-        table.row(&row);
-    }
-    let mut avg_row = vec!["Average".to_string()];
-    for a in &avg {
-        avg_row.push(format!("{:.2}", 100.0 * a / suite.len() as f64));
-    }
-    table.row(&avg_row);
-    println!("Ablation: Local Variable Cache hit rate vs size (direct-mapped, 1-cycle)");
-    println!("{}", table.render());
+    arl_bench::run_main(arl_bench::ablation_lvc);
 }

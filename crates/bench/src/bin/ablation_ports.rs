@@ -8,62 +8,6 @@
 //! 4-port performance each alternative retains, and how a (3+3)
 //! data-decoupled design with *banked* caches fares.
 
-use arl_bench::scale_from_env;
-use arl_stats::TableBuilder;
-use arl_timing::{MachineConfig, TimingSim};
-use arl_workloads::suite;
-
 fn main() {
-    let scale = scale_from_env();
-    let mut configs: Vec<MachineConfig> = Vec::new();
-    configs.push(MachineConfig::conventional(1, 2));
-    let mut lb = MachineConfig::conventional(1, 2);
-    lb.dcache = lb.dcache.with_line_buffer();
-    lb.name = "(1+lbuf)".into();
-    configs.push(lb);
-    let mut banked = MachineConfig::conventional(4, 2);
-    banked.dcache = banked.dcache.with_banks(4);
-    banked.name = "(4-bank)".into();
-    configs.push(banked);
-    configs.push(MachineConfig::conventional(4, 2));
-    let mut split_banked = MachineConfig::decoupled(3, 3);
-    split_banked.dcache = split_banked.dcache.with_banks(4);
-    split_banked.name = "(3b+3)".into();
-    configs.push(split_banked);
-    configs.push(MachineConfig::decoupled(3, 3));
-
-    let mut header = vec!["Benchmark".to_string()];
-    header.extend(configs.iter().map(|c| c.name.clone()));
-    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
-    let mut table = TableBuilder::new(&header_refs);
-
-    let mut sums = vec![0.0; configs.len()];
-    let suite = suite();
-    for spec in &suite {
-        let program = spec.build(scale);
-        let mut row = vec![spec.spec_name.to_string()];
-        let mut base = 0u64;
-        for (i, config) in configs.iter().enumerate() {
-            let stats = TimingSim::run_program(&program, config);
-            if i == 0 {
-                base = stats.cycles;
-            }
-            let speedup = base as f64 / stats.cycles as f64;
-            sums[i] += speedup;
-            row.push(format!("{speedup:.3}"));
-        }
-        table.row(&row);
-    }
-    let mut avg = vec!["Average".to_string()];
-    for s in &sums {
-        avg.push(format!("{:.3}", s / suite.len() as f64));
-    }
-    table.row(&avg);
-    println!("Ablation: bandwidth implementations, speedup over a 1-ported cache");
-    println!("{}", table.render());
-    println!(
-        "Reading: a 4-banked array recovers most of ideal 4-porting; a line\n\
-         buffer gives a single-ported array a second effective port; banked\n\
-         data caches compose with data decoupling."
-    );
+    arl_bench::run_main(arl_bench::ablation_ports);
 }

@@ -4,44 +4,6 @@
 //! which is the paper's implicit argument for tolerating the simpler
 //! hardware.
 
-use arl_bench::scale_from_env;
-use arl_stats::TableBuilder;
-use arl_timing::{MachineConfig, RecoveryMode, TimingSim};
-use arl_workloads::suite;
-
 fn main() {
-    let scale = scale_from_env();
-    let variants: Vec<(String, RecoveryMode, u64)> = vec![
-        ("selective,p1".into(), RecoveryMode::SelectiveReissue, 1),
-        ("selective,p5".into(), RecoveryMode::SelectiveReissue, 5),
-        ("squash,p1".into(), RecoveryMode::Squash, 1),
-        ("squash,p5".into(), RecoveryMode::Squash, 5),
-    ];
-    let mut header = vec!["Benchmark".to_string(), "mispred/1K refs".into()];
-    header.extend(variants.iter().map(|(n, _, _)| n.clone()));
-    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
-    let mut table = TableBuilder::new(&header_refs);
-
-    for spec in suite() {
-        let program = spec.build(scale);
-        let mut row = vec![spec.spec_name.to_string()];
-        let mut base = 0u64;
-        for (i, (name, recovery, penalty)) in variants.iter().enumerate() {
-            let mut config = MachineConfig::decoupled(3, 3);
-            config.recovery = *recovery;
-            config.region_mispredict_penalty = *penalty;
-            config.name = name.clone();
-            let stats = TimingSim::run_program(&program, &config);
-            if i == 0 {
-                base = stats.cycles;
-                let mispredict_rate =
-                    1000.0 * stats.region_mispredicts as f64 / stats.mem_refs.max(1) as f64;
-                row.push(format!("{mispredict_rate:.2}"));
-            }
-            row.push(format!("{:.4}", base as f64 / stats.cycles as f64));
-        }
-        table.row(&row);
-    }
-    println!("Ablation: recovery policy × penalty, slowdown relative to selective/p1");
-    println!("{}", table.render());
+    arl_bench::run_main(arl_bench::ablation_recovery);
 }

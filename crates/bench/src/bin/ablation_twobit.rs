@@ -2,50 +2,6 @@
 //! last-region scheme. The paper omits the 2-bit data because "their
 //! performance is consistently lower than that of 1-bit schemes".
 
-use arl_bench::{evaluate_program, fmt_pct, scale_from_env};
-use arl_core::{Capacity, Context, EvalConfig, PredictorKind};
-use arl_stats::TableBuilder;
-use arl_workloads::suite;
-
 fn main() {
-    let scale = scale_from_env();
-    let mut table = TableBuilder::new(&["Benchmark", "1BIT", "2BIT", "1BIT-HYB", "2BIT-HYB"]);
-    let mut wins = [0u32; 2];
-    for spec in suite() {
-        let program = spec.build(scale);
-        let mut row = vec![spec.spec_name.to_string()];
-        let mut accs = Vec::new();
-        for (kind, context) in [
-            (PredictorKind::OneBit, Context::None),
-            (PredictorKind::TwoBit, Context::None),
-            (PredictorKind::OneBit, Context::HYBRID_8_24),
-            (PredictorKind::TwoBit, Context::HYBRID_8_24),
-        ] {
-            let report = evaluate_program(
-                &program,
-                spec.name,
-                EvalConfig {
-                    kind,
-                    context,
-                    capacity: Capacity::Unlimited,
-                    hints: None,
-                },
-            );
-            accs.push(report.stats.accuracy());
-            row.push(fmt_pct(report.stats.accuracy(), 3));
-        }
-        if accs[0] >= accs[1] {
-            wins[0] += 1;
-        }
-        if accs[2] >= accs[3] {
-            wins[1] += 1;
-        }
-        table.row(&row);
-    }
-    println!("Ablation: 1-bit vs 2-bit ARPT entries (unlimited table)");
-    println!("{}", table.render());
-    println!(
-        "1-bit ≥ 2-bit on {}/12 workloads (plain) and {}/12 (hybrid context)",
-        wins[0], wins[1]
-    );
+    arl_bench::run_main(arl_bench::ablation_twobit);
 }

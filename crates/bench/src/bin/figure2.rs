@@ -8,51 +8,6 @@
 //! exceeds 50% of static instructions on average; multi-region
 //! instructions account for 0–9.6% of dynamic references.
 
-use arl_bench::{fmt_pct, profile_suite, scale_from_env};
-use arl_mem::RegionSet;
-use arl_stats::TableBuilder;
-
 fn main() {
-    let scale = scale_from_env();
-    let mut header: Vec<String> = vec!["Benchmark".into(), "Static".into()];
-    header.extend(RegionSet::CLASS_LABELS.iter().map(|l| format!("{l} %")));
-    header.push("Multi(dyn) %".into());
-    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
-    let mut table = TableBuilder::new(&header_refs);
-
-    let reports = profile_suite(scale);
-    let mut sum_multi_static = [0.0f64; 2];
-    let mut counts = [0u32; 2];
-    for report in &reports {
-        let b = &report.breakdown;
-        let total = b.static_total();
-        let mut row = vec![report.spec.spec_name.to_string(), total.to_string()];
-        for (i, _) in RegionSet::CLASS_LABELS.iter().enumerate() {
-            row.push(format!(
-                "{:.1}",
-                100.0 * b.static_counts[i] as f64 / total.max(1) as f64
-            ));
-        }
-        row.push(fmt_pct(b.dynamic_multi_region_fraction(), 2));
-        table.row(&row);
-        let idx = report.spec.is_fp as usize;
-        sum_multi_static[idx] += b.static_multi_region_fraction();
-        counts[idx] += 1;
-    }
-    println!("Figure 2: static memory instructions by accessed-region class");
-    println!("{}", table.render());
-    println!(
-        "Average static multi-region fraction: integer {} | floating-point {}",
-        fmt_pct(sum_multi_static[0] / counts[0].max(1) as f64, 2),
-        fmt_pct(sum_multi_static[1] / counts[1].max(1) as f64, 2),
-    );
-    let avg_stack: f64 = reports
-        .iter()
-        .map(|r| r.breakdown.static_fraction("S"))
-        .sum::<f64>()
-        / reports.len() as f64;
-    println!(
-        "Average stack-only share of static instructions: {}",
-        fmt_pct(avg_stack, 1)
-    );
+    arl_bench::run_main(arl_bench::figure2);
 }

@@ -7,43 +7,6 @@
 //! beats the single-context variants on most programs; 1BIT-HYBRID is best
 //! overall at 99.89% (integer) / 100.0% (FP).
 
-use arl_bench::{evaluate_program, fmt_pct, scale_from_env};
-use arl_core::{EvalConfig, Source};
-use arl_stats::TableBuilder;
-use arl_workloads::suite;
-
 fn main() {
-    let scale = scale_from_env();
-    let schemes = EvalConfig::figure4_schemes();
-    let mut header: Vec<&str> = vec!["Benchmark", "Static-cover %"];
-    header.extend(schemes.iter().map(|(n, _)| *n));
-    let mut table = TableBuilder::new(&header);
-    let mut sums = vec![[0.0f64; 2]; schemes.len()];
-    let mut counts = [0u32; 2];
-    for spec in suite() {
-        let program = spec.build(scale);
-        let mut row = vec![spec.spec_name.to_string()];
-        let mut static_cover = String::new();
-        for (i, (_, config)) in schemes.iter().enumerate() {
-            let report = evaluate_program(&program, spec.name, config.clone());
-            if i == 0 {
-                static_cover = fmt_pct(report.stats.coverage(Source::Static), 1);
-            }
-            row.push(fmt_pct(report.stats.accuracy(), 2));
-            sums[i][spec.is_fp as usize] += report.stats.accuracy();
-        }
-        row.insert(1, static_cover);
-        table.row(&row);
-        counts[spec.is_fp as usize] += 1;
-    }
-    let mut int_row = vec!["Int avg".to_string(), String::new()];
-    let mut fp_row = vec!["FP avg".to_string(), String::new()];
-    for s in &sums {
-        int_row.push(fmt_pct(s[0] / counts[0] as f64, 2));
-        fp_row.push(fmt_pct(s[1] / counts[1] as f64, 2));
-    }
-    table.row(&int_row);
-    table.row(&fp_row);
-    println!("Figure 4: dynamic classification accuracy (unlimited ARPT)");
-    println!("{}", table.render());
+    arl_bench::run_main(arl_bench::figure4);
 }

@@ -7,50 +7,6 @@
 //! already exceeds 99.9%; compiler hints recover the losses and make the
 //! ARPT size-insensitive.
 
-use arl_bench::{evaluate_program, fmt_pct, profile_workload, scale_from_env};
-use arl_core::{Capacity, Context, EvalConfig, HintTable, PredictorKind};
-use arl_stats::TableBuilder;
-use arl_workloads::suite;
-
 fn main() {
-    let scale = scale_from_env();
-    let capacities: [(&str, Capacity); 5] = [
-        ("inf", Capacity::Unlimited),
-        ("64K", Capacity::Entries(1 << 16)),
-        ("32K", Capacity::Entries(1 << 15)),
-        ("16K", Capacity::Entries(1 << 14)),
-        ("8K", Capacity::Entries(1 << 13)),
-    ];
-    let mut header: Vec<String> = vec!["Benchmark".into()];
-    for (name, _) in &capacities {
-        header.push(name.to_string());
-        header.push(format!("{name}+hints"));
-    }
-    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
-    let mut table = TableBuilder::new(&header_refs);
-
-    for spec in suite() {
-        // The hint source is the paper's profile-derived upper bound.
-        let report = profile_workload(spec, scale);
-        let hints = HintTable::from_profile(&report.profiler);
-        let mut row = vec![spec.spec_name.to_string()];
-        for (_, capacity) in &capacities {
-            for with_hints in [false, true] {
-                let eval = evaluate_program(
-                    &report.program,
-                    spec.name,
-                    EvalConfig {
-                        kind: PredictorKind::OneBit,
-                        context: Context::HYBRID_8_24,
-                        capacity: *capacity,
-                        hints: with_hints.then(|| hints.clone()),
-                    },
-                );
-                row.push(fmt_pct(eval.stats.accuracy(), 2));
-            }
-        }
-        table.row(&row);
-    }
-    println!("Figure 5: 1BIT-HYBRID accuracy vs ARPT size, without/with compiler hints");
-    println!("{}", table.render());
+    arl_bench::run_main(arl_bench::figure5);
 }

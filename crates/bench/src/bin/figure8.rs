@@ -7,52 +7,6 @@
 //! integer programs; (3+3) reaches the (16+0) level for integer programs
 //! and the (4+0) level for FP.
 
-use arl_bench::scale_from_env;
-use arl_stats::{BarChart, TableBuilder};
-use arl_timing::{MachineConfig, TimingSim};
-use arl_workloads::suite;
-
 fn main() {
-    let scale = scale_from_env();
-    let configs = MachineConfig::figure8_suite();
-    let mut header: Vec<String> = vec!["Benchmark".into()];
-    header.extend(configs.iter().map(|c| c.name.clone()));
-    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
-    let mut table = TableBuilder::new(&header_refs);
-
-    let mut speedup_sums = vec![[0.0f64; 2]; configs.len()];
-    let mut counts = [0u32; 2];
-    let mut chart = BarChart::new("Figure 8: average speedup over (2+0)", 48);
-    for spec in suite() {
-        let program = spec.build(scale);
-        let mut row = vec![spec.spec_name.to_string()];
-        let mut base_cycles = 0u64;
-        for (i, config) in configs.iter().enumerate() {
-            let stats = TimingSim::run_program(&program, config);
-            if i == 0 {
-                base_cycles = stats.cycles;
-            }
-            let speedup = base_cycles as f64 / stats.cycles as f64;
-            row.push(format!("{speedup:.3}"));
-            speedup_sums[i][spec.is_fp as usize] += speedup;
-        }
-        counts[spec.is_fp as usize] += 1;
-        table.row(&row);
-    }
-    let mut int_row = vec!["Int avg".to_string()];
-    let mut fp_row = vec!["FP avg".to_string()];
-    for (i, s) in speedup_sums.iter().enumerate() {
-        let int_avg = s[0] / counts[0] as f64;
-        let fp_avg = s[1] / counts[1] as f64;
-        int_row.push(format!("{int_avg:.3}"));
-        fp_row.push(format!("{fp_avg:.3}"));
-        chart.bar(&format!("{} int", configs[i].name), int_avg);
-        chart.bar(&format!("{} fp", configs[i].name), fp_avg);
-        chart.gap();
-    }
-    table.row(&int_row);
-    table.row(&fp_row);
-    println!("Figure 8: speedup over the (2+0) baseline (higher is better)");
-    println!("{}", table.render());
-    println!("{}", chart.render());
+    arl_bench::run_main(arl_bench::figure8);
 }

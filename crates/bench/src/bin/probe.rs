@@ -1,34 +1,6 @@
 //! Diagnostic: full SimStats dump for one workload × a few configs.
 
-use arl_bench::scale_from_env;
-use arl_timing::{MachineConfig, TimingSim};
-use arl_workloads::workload;
-
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "gcc".into());
-    let spec = workload(&name).expect("workload");
-    let program = spec.build(scale_from_env());
-    for config in [
-        MachineConfig::baseline_2_0(),
-        MachineConfig::conventional(16, 2),
-        MachineConfig::decoupled(3, 3),
-    ] {
-        let s = TimingSim::run_program(&program, &config);
-        println!(
-            "{:8} cycles={} ipc={:.2} mem={} lvaq={} fwd(lsq/lvaq)={}/{} rob_stall={} q_stall={} vp={}@{:.2} l1={:.3} l2m={}",
-            s.config_name,
-            s.cycles,
-            s.ipc(),
-            s.mem_refs,
-            s.lvaq_refs,
-            s.lsq_forwards,
-            s.lvaq_forwards,
-            s.rob_stall_cycles,
-            s.queue_stall_cycles,
-            s.value_predictions,
-            s.value_pred_accuracy(),
-            s.dcache.hit_rate(),
-            s.l2.misses,
-        );
-    }
+    arl_bench::run_main(|opts| arl_bench::probe(opts, &name));
 }

@@ -6,22 +6,6 @@
 //! reduced default scale (≈0.5–2M instructions); the load/store *mix* is
 //! the comparable quantity.
 
-use arl_bench::{fmt_millions, profile_suite, scale_from_env};
-use arl_stats::TableBuilder;
-
 fn main() {
-    let scale = scale_from_env();
-    let mut table = TableBuilder::new(&["Benchmark", "Inst. count", "Loads %", "Stores %", "Refs"]);
-    for report in profile_suite(scale) {
-        let c = &report.character;
-        table.row(&[
-            report.spec.spec_name.to_string(),
-            fmt_millions(c.instructions),
-            format!("{:.0}", c.load_pct()),
-            format!("{:.0}", c.store_pct()),
-            fmt_millions(c.references()),
-        ]);
-    }
-    println!("Table 1: workload characterization (synthetic SPEC95 analogs)");
-    println!("{}", table.render());
+    arl_bench::run_main(arl_bench::table1);
 }

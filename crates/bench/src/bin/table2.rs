@@ -6,63 +6,6 @@
 //! (stddev > mean) in most programs that have them; FP programs have
 //! near-zero heap traffic.
 
-use arl_bench::{profile_suite, scale_from_env};
-use arl_mem::Region;
-use arl_stats::TableBuilder;
-
 fn main() {
-    let scale = scale_from_env();
-    let mut table = TableBuilder::new(&[
-        "Benchmark",
-        "W32 Data",
-        "W32 Heap",
-        "W32 Stack",
-        "W64 Data",
-        "W64 Heap",
-        "W64 Stack",
-    ]);
-    let reports = profile_suite(scale);
-    let mut avg = [[0.0f64; 3]; 2];
-    for report in &reports {
-        let mut row = vec![report.spec.spec_name.to_string()];
-        for (wi, w) in report.windows.iter().enumerate() {
-            for (ri, region) in Region::DATA_REGIONS.iter().enumerate() {
-                row.push(format!("{:.2} ({:.2})", w.mean(*region), w.stddev(*region)));
-                avg[wi][ri] += w.mean(*region);
-            }
-        }
-        table.row(&row);
-    }
-    let n = reports.len() as f64;
-    let mut avg_row = vec!["Average".to_string()];
-    for w in &avg {
-        for v in w {
-            avg_row.push(format!("{:.2}", v / n));
-        }
-    }
-    table.row(&avg_row);
-    println!("Table 2: mean (stddev) of per-region accesses in 32/64-instruction windows");
-    println!("{}", table.render());
-
-    // The paper's burstiness observations, with the distribution's direct
-    // clustering evidence (fraction of windows with zero accesses).
-    println!("Strictly bursty regions (mean < stddev) and idle-window fractions, window 32:");
-    for report in &reports {
-        let w = &report.windows[0];
-        let bursty: Vec<&str> = Region::DATA_REGIONS
-            .iter()
-            .filter(|&&r| w.mean(r) > 0.01 && w.is_strictly_bursty(r))
-            .map(|r| r.letter())
-            .collect();
-        let idle: Vec<String> = Region::DATA_REGIONS
-            .iter()
-            .map(|&r| format!("{}:{:.0}%", r.letter(), 100.0 * w.idle_fraction(r)))
-            .collect();
-        println!(
-            "  {:<12} bursty[{}]  idle windows {}",
-            report.spec.spec_name,
-            bursty.join(","),
-            idle.join(" ")
-        );
-    }
+    arl_bench::run_main(arl_bench::table2);
 }

@@ -6,50 +6,6 @@
 //! CID −15–83%, hybrid +38–336%), with the large-code benchmarks
 //! (go, gcc, vortex) occupying the most entries.
 
-use arl_bench::{evaluate_program, scale_from_env};
-use arl_core::{Capacity, Context, EvalConfig, PredictorKind};
-use arl_stats::TableBuilder;
-use arl_workloads::suite;
-
 fn main() {
-    let scale = scale_from_env();
-    let contexts: [(&str, Context); 4] = [
-        ("pc-only", Context::None),
-        ("w/ GBH", Context::Gbh { bits: 8 }),
-        ("w/ CID", Context::Cid { bits: 24 }),
-        ("w/ Hybrid", Context::HYBRID_8_24),
-    ];
-    let mut table = TableBuilder::new(&["Bench.", "pc-only", "w/ GBH", "w/ CID", "w/ Hybrid"]);
-    for spec in suite() {
-        let program = spec.build(scale);
-        let mut row = vec![spec.spec_name.to_string()];
-        let mut base = 0usize;
-        for (i, (_, context)) in contexts.iter().enumerate() {
-            let report = evaluate_program(
-                &program,
-                spec.name,
-                EvalConfig {
-                    kind: PredictorKind::OneBit,
-                    context: *context,
-                    capacity: Capacity::Unlimited,
-                    hints: None,
-                },
-            );
-            let occupied = report.arpt_occupied.unwrap_or(0);
-            if i == 0 {
-                base = occupied;
-                row.push(occupied.to_string());
-            } else {
-                let pct = if base > 0 {
-                    100.0 * (occupied as f64 - base as f64) / base as f64
-                } else {
-                    0.0
-                };
-                row.push(format!("{occupied} ({pct:+.0}%)"));
-            }
-        }
-        table.row(&row);
-    }
-    println!("Table 3: entries occupied in an unlimited ARPT (dynamic instructions only)");
-    println!("{}", table.render());
+    arl_bench::run_main(arl_bench::table3);
 }

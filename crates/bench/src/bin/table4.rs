@@ -2,61 +2,6 @@
 //! `arl-timing` — a direct parameter dump so the reproduction's model is
 //! auditable against the paper's.
 
-use arl_stats::TableBuilder;
-use arl_timing::MachineConfig;
-
 fn main() {
-    let c = MachineConfig::baseline_2_0();
-    let mut t = TableBuilder::new(&["Parameter", "Value"]);
-    t.row(&["Issue width", &c.issue_width.to_string()]);
-    t.row(&["No. of regs", "32 GPRs / 32 FPRs"]);
-    t.row(&["ROB/LSQ size", &format!("{}/{}", c.rob_size, c.lsq_size)]);
-    t.row(&[
-        "Func. units",
-        &format!(
-            "{} int + {} FP ALUs, {} int + {} FP MULT/DIV",
-            c.int_alus, c.fp_alus, c.int_mul_div, c.fp_mul_div
-        ),
-    ]);
-    t.row(&["Value pred.", "Stride-based, 16K-entry table"]);
-    t.row(&[
-        "L1 D-cache",
-        &format!(
-            "{}-way set-assoc. {} KB, {}-cycle hit",
-            c.dcache.assoc,
-            c.dcache.size_bytes / 1024,
-            c.dcache.hit_latency
-        ),
-    ]);
-    t.row(&[
-        "L2 D-cache",
-        &format!(
-            "{}-way, {} KB, {}-cycle access",
-            c.l2.assoc,
-            c.l2.size_bytes / 1024,
-            c.l2.hit_latency
-        ),
-    ]);
-    t.row(&[
-        "Memory",
-        &format!("{}-cycle access, fully interleaved", c.memory_latency),
-    ]);
-    let lvc = arl_timing::CacheConfig::lvc(2);
-    t.row(&[
-        "LV Cache",
-        &format!(
-            "direct-mapped, {} KB, {}-cycle access",
-            lvc.size_bytes / 1024,
-            lvc.hit_latency
-        ),
-    ]);
-    t.row(&[
-        "ARPT",
-        &format!("{}K 1-bit entries", (1u64 << c.arpt_log2_entries) / 1024),
-    ]);
-    t.row(&["I-cache", "perfect, 1-cycle"]);
-    t.row(&["Branch pred.", "perfect"]);
-    t.row(&["Inst. latencies", "MIPS R10000-flavoured"]);
-    println!("Table 4: base machine model");
-    println!("{}", t.render());
+    arl_bench::run_main(arl_bench::table4);
 }

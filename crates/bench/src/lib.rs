@@ -9,6 +9,12 @@
 //! * [`evaluate`] — prediction-accuracy runs for arbitrary
 //!   [`EvalConfig`]s (drives Figure 4, Table 3, Figure 5 and the 2-bit
 //!   ablation).
+//! * [`Pool`] / [`experiments`] — every binary fans its (workload ×
+//!   config) cells across a scoped thread pool (`ARL_THREADS`; default all
+//!   cores) and folds results in cell order, so output is byte-identical
+//!   to a serial run.
+//! * [`SuiteReport`] — structured [`RunRecord`]s per cell, written as
+//!   `BENCH_<experiment>.json` when `ARL_JSON` is set.
 //! * [`scale_from_env`] — every binary honours `ARL_SCALE` (an integer
 //!   iteration multiplier; `tiny` for smoke runs) so results can be
 //!   reproduced at larger scales without recompiling.
@@ -18,12 +24,24 @@
 //! ```text
 //! cargo run --release -p arl-bench --bin figure4
 //! ARL_SCALE=4 cargo run --release -p arl-bench --bin table2
+//! ARL_THREADS=8 ARL_JSON=out/ cargo run --release -p arl-bench --bin figure8
 //! ```
+
+mod experiments;
+mod runner;
+
+pub use experiments::{
+    ablation_l1size, ablation_lvc, ablation_ports, ablation_recovery, ablation_twobit, figure2,
+    figure4, figure5, figure8, probe, run_main, table1, table2, table3, table4, ExperimentOptions,
+    ExperimentRun,
+};
+pub use runner::{timed_record, Pool, RunRecord, SuiteReport, JSON_SCHEMA};
 
 use arl_asm::Program;
 use arl_core::{EvalConfig, Evaluator, HintTable, PredictionStats};
 use arl_sim::{
-    Machine, RegionBreakdown, RegionProfiler, SlidingWindowProfiler, WindowStats, WorkloadCharacter,
+    Machine, Metrics, RegionBreakdown, RegionProfiler, SlidingWindowProfiler, WindowStats,
+    WorkloadCharacter,
 };
 use arl_workloads::{suite, Scale, WorkloadSpec};
 
@@ -45,6 +63,8 @@ pub struct ProfileReport {
     pub profiler: RegionProfiler,
     /// Table 2 data, one entry per window size (32, 64).
     pub windows: Vec<WindowStats>,
+    /// End-of-run machine counters (instructions, peak-RSS proxy).
+    pub metrics: Metrics,
 }
 
 /// Runs one workload through the functional simulator with all profilers
@@ -73,6 +93,7 @@ pub fn profile_workload(spec: WorkloadSpec, scale: Scale) -> ProfileReport {
         spec.name
     );
     let breakdown = profiler.breakdown();
+    let metrics = machine.metrics();
     ProfileReport {
         spec,
         program,
@@ -80,15 +101,19 @@ pub fn profile_workload(spec: WorkloadSpec, scale: Scale) -> ProfileReport {
         breakdown,
         profiler,
         windows: windows.stats(),
+        metrics,
     }
 }
 
-/// Profiles the whole 12-workload suite.
+/// Profiles the whole 12-workload suite, one pool cell per workload.
+/// Results come back in suite order regardless of the worker count.
+pub fn profile_suite_with(pool: &Pool, scale: Scale) -> Vec<ProfileReport> {
+    pool.map(suite(), |_i, spec| profile_workload(spec, scale))
+}
+
+/// Profiles the whole 12-workload suite with `ARL_THREADS` workers.
 pub fn profile_suite(scale: Scale) -> Vec<ProfileReport> {
-    suite()
-        .into_iter()
-        .map(|spec| profile_workload(spec, scale))
-        .collect()
+    profile_suite_with(&Pool::from_env(), scale)
 }
 
 /// Result of one prediction-accuracy run.
@@ -97,6 +122,8 @@ pub struct EvalReport {
     pub stats: PredictionStats,
     /// ARPT entries occupied, when an ARPT was configured.
     pub arpt_occupied: Option<usize>,
+    /// End-of-run machine counters (instructions, peak-RSS proxy).
+    pub metrics: Metrics,
 }
 
 /// Replays one workload through a predictor configuration.
@@ -127,6 +154,7 @@ pub fn evaluate_program(program: &Program, name: &str, config: EvalConfig) -> Ev
     EvalReport {
         stats: *evaluator.stats(),
         arpt_occupied: evaluator.arpt_occupied(),
+        metrics: machine.metrics(),
     }
 }
 

@@ -1,0 +1,305 @@
+//! Parallel experiment runner and structured run records.
+//!
+//! Every table/figure binary fans its (workload × config) cells out over a
+//! [`Pool`] of scoped worker threads, then folds the results back **in
+//! cell order**, so the rendered output is byte-identical to a serial run
+//! (`ARL_THREADS=1`). On top of the raw results, each cell produces a
+//! [`RunRecord`]; the per-experiment [`SuiteReport`] serializes them to
+//! JSON (`arl-stats`' hand-rolled [`Json`]) and, when `ARL_JSON` is set,
+//! writes a `BENCH_<experiment>.json` trajectory file.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use arl_stats::Json;
+use arl_workloads::Scale;
+
+/// A fixed-width pool of scoped worker threads.
+///
+/// Work items are claimed from a shared counter (dynamic load balancing —
+/// timing cells vary ~10× in cost), but results land in a slot vector
+/// indexed by cell, so the fold order never depends on scheduling. Cells
+/// must be deterministic functions of their input and index; all of this
+/// crate's cells are (the simulators take no seeds and share no state).
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// A pool with an explicit worker count (`0` is clamped to 1).
+    pub fn new(threads: usize) -> Pool {
+        Pool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Reads `ARL_THREADS`; defaults to all available cores.
+    /// `ARL_THREADS=1` reproduces the serial harness exactly.
+    pub fn from_env() -> Pool {
+        let threads = match std::env::var("ARL_THREADS") {
+            Ok(v) => v
+                .parse()
+                .unwrap_or_else(|_| panic!("ARL_THREADS must be an integer, got {v:?}")),
+            Err(_) => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        };
+        Pool::new(threads)
+    }
+
+    /// Worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Applies `f` to every item, in parallel, returning outputs in input
+    /// order. `f` receives the cell index alongside the item so cells can
+    /// derive per-cell seeds/labels deterministically.
+    pub fn map<I, O, F>(&self, items: Vec<I>, f: F) -> Vec<O>
+    where
+        I: Send,
+        O: Send,
+        F: Fn(usize, I) -> O + Sync,
+    {
+        let n = items.len();
+        if self.threads == 1 || n <= 1 {
+            return items
+                .into_iter()
+                .enumerate()
+                .map(|(i, item)| f(i, item))
+                .collect();
+        }
+        let jobs: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+        let slots: Vec<Mutex<Option<O>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads.min(n) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = jobs[i].lock().unwrap().take().expect("each job taken once");
+                    let out = f(i, item);
+                    *slots[i].lock().unwrap() = Some(out);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("worker did not poison the slot")
+                    .expect("scope joined every worker")
+            })
+            .collect()
+    }
+}
+
+/// One (workload × config) cell's structured result.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunRecord {
+    /// Workload short name (`"go"`, ...).
+    pub workload: String,
+    /// Configuration/scheme label (`"(3+3)"`, `"1BIT-HYBRID"`, `"profile"`).
+    pub config: String,
+    /// Dynamic instructions the cell simulated.
+    pub instructions: u64,
+    /// Cycles, for timing cells.
+    pub cycles: Option<u64>,
+    /// Instructions per cycle, for timing cells.
+    pub ipc: Option<f64>,
+    /// Prediction accuracy (ARPT/evaluator or in-pipeline), when the cell
+    /// predicts anything.
+    pub accuracy: Option<f64>,
+    /// Host wall-clock seconds the cell took.
+    pub wall_seconds: f64,
+    /// Peak-RSS proxy: bytes resident in the simulated memory image.
+    pub peak_rss_bytes: u64,
+}
+
+impl RunRecord {
+    /// A record with everything optional unset; cells fill in what they
+    /// measured.
+    pub fn new(workload: &str, config: &str) -> RunRecord {
+        RunRecord {
+            workload: workload.to_string(),
+            config: config.to_string(),
+            instructions: 0,
+            cycles: None,
+            ipc: None,
+            accuracy: None,
+            wall_seconds: 0.0,
+            peak_rss_bytes: 0,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("workload", Json::from(self.workload.as_str())),
+            ("config", Json::from(self.config.as_str())),
+            ("instructions", Json::from(self.instructions)),
+            ("cycles", Json::from(self.cycles)),
+            ("ipc", Json::from(self.ipc)),
+            ("accuracy", Json::from(self.accuracy)),
+            ("wall_seconds", Json::from(self.wall_seconds)),
+            ("peak_rss_bytes", Json::from(self.peak_rss_bytes)),
+        ])
+    }
+}
+
+/// Times one cell body and stamps the elapsed wall clock into the record
+/// it returns.
+pub fn timed_record<T>(
+    workload: &str,
+    config: &str,
+    body: impl FnOnce(&mut RunRecord) -> T,
+) -> (T, RunRecord) {
+    let mut record = RunRecord::new(workload, config);
+    let start = Instant::now();
+    let value = body(&mut record);
+    record.wall_seconds = start.elapsed().as_secs_f64();
+    (value, record)
+}
+
+/// Everything one experiment run produced, ready for `BENCH_*.json`.
+#[derive(Clone, Debug)]
+pub struct SuiteReport {
+    /// Experiment name (`"figure8"`, `"ablation_lvc"`, ...).
+    pub experiment: String,
+    /// Human-readable scale (`"tiny"`, `"x1"`, `"x4"`).
+    pub scale: String,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Whole-experiment wall-clock seconds.
+    pub wall_seconds: f64,
+    /// Per-cell records, in cell order.
+    pub records: Vec<RunRecord>,
+}
+
+/// `BENCH_*.json` schema identifier; bump when the shape changes.
+pub const JSON_SCHEMA: &str = "arl-bench/v1";
+
+impl SuiteReport {
+    /// An empty report for `experiment` (records are appended by the
+    /// experiment driver).
+    pub fn new(experiment: &str, scale: Scale, threads: usize) -> SuiteReport {
+        SuiteReport {
+            experiment: experiment.to_string(),
+            scale: scale_label(scale),
+            threads,
+            wall_seconds: 0.0,
+            records: Vec::new(),
+        }
+    }
+
+    /// The full `BENCH_*.json` document.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema", Json::from(JSON_SCHEMA)),
+            ("experiment", Json::from(self.experiment.as_str())),
+            ("scale", Json::from(self.scale.as_str())),
+            ("threads", Json::from(self.threads)),
+            ("wall_seconds", Json::from(self.wall_seconds)),
+            (
+                "records",
+                Json::Arr(self.records.iter().map(RunRecord::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Writes the report to `path`. If `path` is a directory, writes
+    /// `BENCH_<experiment>.json` inside it.
+    pub fn write_json(&self, path: &Path) -> std::io::Result<PathBuf> {
+        let file = if path.is_dir() {
+            path.join(format!("BENCH_{}.json", self.experiment))
+        } else {
+            path.to_path_buf()
+        };
+        std::fs::write(&file, self.to_json().render() + "\n")?;
+        Ok(file)
+    }
+
+    /// Honours `ARL_JSON`: when set, writes the report there (file path,
+    /// or directory to get the `BENCH_<experiment>.json` name) and returns
+    /// the path written.
+    pub fn emit_from_env(&self) -> std::io::Result<Option<PathBuf>> {
+        match std::env::var_os("ARL_JSON") {
+            Some(path) => self.write_json(Path::new(&path)).map(Some),
+            None => Ok(None),
+        }
+    }
+}
+
+fn scale_label(scale: Scale) -> String {
+    if scale.is_tiny() {
+        "tiny".to_string()
+    } else {
+        format!("x{}", scale.factor())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_order_and_covers_every_item() {
+        for threads in [1, 2, 7] {
+            let pool = Pool::new(threads);
+            let out = pool.map((0..100).collect(), |i, x: i32| {
+                assert_eq!(i as i32, x);
+                x * x
+            });
+            assert_eq!(out, (0..100).map(|x| x * x).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn map_handles_empty_and_singleton() {
+        let pool = Pool::new(4);
+        assert_eq!(pool.map(Vec::<u8>::new(), |_, x| x), Vec::<u8>::new());
+        assert_eq!(pool.map(vec![9], |_, x: u8| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn pool_clamps_zero_threads() {
+        assert_eq!(Pool::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn report_json_has_the_documented_schema() {
+        let mut report = SuiteReport::new("unit", Scale::tiny(), 2);
+        let ((), record) = timed_record("go", "(2+0)", |r| {
+            r.instructions = 1000;
+            r.cycles = Some(500);
+            r.ipc = Some(2.0);
+            r.peak_rss_bytes = 4096;
+        });
+        report.records.push(record);
+        let json = report.to_json();
+        assert_eq!(json.get("schema").unwrap().as_str(), Some(JSON_SCHEMA));
+        assert_eq!(json.get("scale").unwrap().as_str(), Some("tiny"));
+        let records = json.get("records").unwrap().as_array().unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].get("cycles").unwrap().as_u64(), Some(500));
+        assert_eq!(records[0].get("accuracy"), Some(&Json::Null));
+        assert!(records[0].get("wall_seconds").unwrap().as_f64().unwrap() >= 0.0);
+        // The document round-trips through the parser.
+        let text = json.render();
+        assert_eq!(Json::parse(&text).unwrap(), json);
+    }
+
+    #[test]
+    fn write_json_into_directory_uses_bench_name() {
+        let dir = std::env::temp_dir().join(format!("arl-bench-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let report = SuiteReport::new("figure8", Scale::default(), 1);
+        let path = report.write_json(&dir).unwrap();
+        assert_eq!(path.file_name().unwrap(), "BENCH_figure8.json");
+        let back = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(back.get("experiment").unwrap().as_str(), Some("figure8"));
+        assert_eq!(back.get("scale").unwrap().as_str(), Some("x1"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,5 +1,7 @@
 //! Property tests for the prediction machinery.
 
+#![cfg(feature = "proptest-tests")]
+
 use arl_core::{Arpt, Capacity, Context, CounterScheme};
 use proptest::prelude::*;
 

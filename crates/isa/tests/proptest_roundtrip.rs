@@ -2,6 +2,8 @@
 //! and arbitrary words either decode to something that re-encodes to itself or
 //! fail cleanly.
 
+#![cfg(feature = "proptest-tests")]
+
 use arl_isa::{decode, encode, AluOp, BranchCond, FAluOp, FCmpOp, Fpr, Gpr, Inst, Syscall, Width};
 use proptest::prelude::*;
 

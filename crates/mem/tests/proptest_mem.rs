@@ -1,5 +1,7 @@
 //! Property tests for the memory substrate.
 
+#![cfg(feature = "proptest-tests")]
+
 use arl_mem::{HeapAllocator, Layout, MemImage, Region};
 use proptest::prelude::*;
 

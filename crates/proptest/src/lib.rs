@@ -1,0 +1,124 @@
+//! # proptest (offline shim)
+//!
+//! A minimal, dependency-free re-implementation of the subset of the
+//! [proptest](https://crates.io/crates/proptest) API this workspace's
+//! property tests use. The build environment for this repository has no
+//! access to a crates registry, so the real crate cannot be vendored; this
+//! shim keeps the property tests compiling and running (deterministically)
+//! with the same source text.
+//!
+//! Supported surface:
+//!
+//! * [`Strategy`] with [`Strategy::prop_map`], implemented for integer
+//!   ranges (`Range`/`RangeInclusive`), tuples of strategies (arity ≤ 6),
+//!   [`Just`], [`any`], and [`collection::vec`].
+//! * [`proptest!`] blocks (with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header),
+//!   [`prop_oneof!`] (plain and weighted arms), [`prop_assert!`],
+//!   [`prop_assert_eq!`], [`prop_assert_ne!`] and [`prop_assume!`].
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case reports the generated inputs via the
+//!   ordinary panic message; it is not minimised.
+//! * **Deterministic generation.** Each `(test name, case index)` pair
+//!   seeds a SplitMix64 stream, so runs are reproducible and thread count
+//!   never changes outcomes. `proptest-regressions` files are ignored.
+//! * The default case count is 64 (real proptest: 256) to keep the suite
+//!   fast on small containers.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The near-universal import, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Declares property tests. Each function body is run for
+/// `ProptestConfig::cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { @config ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            @config ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (@config ($config:expr)) => {};
+    (@config ($config:expr)
+        $(#[$attr:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $config;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                { $body }
+            }
+        }
+        $crate::__proptest_fns! { @config ($config) $($rest)* }
+    };
+}
+
+/// Picks one of several strategies, uniformly or by the given weights.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u64, $crate::strategy::Union::arm($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u64, $crate::strategy::Union::arm($strat))),+
+        ])
+    };
+}
+
+/// `assert!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current generated case when the precondition fails.
+///
+/// Expands to `continue`, so it is only valid directly inside a
+/// [`proptest!`] body (as in real proptest).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}

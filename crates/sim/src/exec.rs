@@ -139,6 +139,16 @@ impl<'p> Machine<'p> {
         &self.mem
     }
 
+    /// Snapshot of the run's counters (see [`crate::Metrics`]).
+    pub fn metrics(&self) -> crate::Metrics {
+        crate::Metrics::capture(
+            self.retired,
+            self.mem.resident_pages(),
+            self.output.len(),
+            self.exited,
+        )
+    }
+
     fn write_gpr(&mut self, r: Gpr, v: i64) {
         if r != Gpr::ZERO {
             self.gpr[r.index()] = v;

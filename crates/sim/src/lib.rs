@@ -35,11 +35,13 @@
 //! ```
 
 mod exec;
+mod metrics;
 mod profile;
 mod trace;
 mod window;
 
 pub use exec::{ExecError, Machine, RunOutcome};
+pub use metrics::Metrics;
 pub use profile::{characterize, RegionBreakdown, RegionProfiler, WorkloadCharacter};
 pub use trace::{MemAccess, TraceEntry};
 pub use window::{SlidingWindowProfiler, WindowStats};

@@ -1,0 +1,37 @@
+//! Machine-readable snapshot of a functional run.
+
+use arl_mem::PAGE_SIZE;
+
+/// Counters a harness needs from a finished (or in-flight) functional
+/// simulation, as one copyable snapshot instead of ad-hoc prints.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Instructions retired so far.
+    pub instructions: u64,
+    /// Pages resident in the sparse memory image. Pages are never
+    /// released, so this is a peak-RSS proxy for the simulated program.
+    pub resident_pages: usize,
+    /// `resident_pages` in bytes.
+    pub peak_rss_bytes: u64,
+    /// Values the program printed.
+    pub output_values: usize,
+    /// Whether the program has executed its `Exit` syscall.
+    pub exited: bool,
+}
+
+impl Metrics {
+    pub(crate) fn capture(
+        instructions: u64,
+        resident_pages: usize,
+        output_values: usize,
+        exited: bool,
+    ) -> Metrics {
+        Metrics {
+            instructions,
+            resident_pages,
+            peak_rss_bytes: resident_pages as u64 * PAGE_SIZE,
+            output_values,
+            exited,
+        }
+    }
+}

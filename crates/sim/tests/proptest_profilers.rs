@@ -1,5 +1,7 @@
 //! Property tests for the profilers over synthetic trace streams.
 
+#![cfg(feature = "proptest-tests")]
+
 use arl_isa::{Gpr, Inst, Width};
 use arl_mem::Region;
 use arl_sim::{MemAccess, RegionProfiler, SlidingWindowProfiler, TraceEntry, WorkloadCharacter};

@@ -7,6 +7,8 @@
 //! * [`Histogram`] — integer-valued histogram with summary statistics.
 //! * [`TableBuilder`] — aligned ASCII tables for the `table*` binaries.
 //! * [`BarChart`] — ASCII horizontal bar charts for the `figure*` binaries.
+//! * [`Json`] — dependency-free JSON value tree, serializer and parser,
+//!   backing the harness's `BENCH_*.json` run records.
 //!
 //! ```
 //! use arl_stats::Moments;
@@ -20,9 +22,11 @@
 //! ```
 
 mod chart;
+mod json;
 mod moments;
 mod table;
 
 pub use chart::BarChart;
+pub use json::{Json, JsonError};
 pub use moments::{Histogram, Moments};
 pub use table::TableBuilder;

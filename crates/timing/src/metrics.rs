@@ -31,6 +31,10 @@ pub struct SimStats {
     pub value_predictions: u64,
     /// Correct confident value predictions.
     pub value_pred_correct: u64,
+    /// Peak-RSS proxy for the simulated program: bytes resident in the
+    /// functional machine's sparse memory image at the end of the run
+    /// (zero for trace-driven runs, which have no machine).
+    pub peak_rss_bytes: u64,
     /// L1 data-cache hit/miss counts.
     pub dcache: CacheStats,
     /// LVC hit/miss counts (decoupled machines only).

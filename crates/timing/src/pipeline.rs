@@ -205,7 +205,9 @@ impl TimingSim {
                 "timing simulation is not making progress"
             );
         }
-        sim.finish()
+        let mut stats = sim.finish();
+        stats.peak_rss_bytes = machine.metrics().peak_rss_bytes;
+        stats
     }
 
     /// Runs a pre-collected trace slice (useful for tests).

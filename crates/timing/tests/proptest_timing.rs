@@ -2,6 +2,8 @@
 //! valid) straight-line programs: resource monotonicity and conservation
 //! invariants.
 
+#![cfg(feature = "proptest-tests")]
+
 use arl_asm::{FunctionBuilder, Program, ProgramBuilder, Provenance};
 use arl_isa::Gpr;
 use arl_timing::{MachineConfig, TimingSim};
