@@ -27,7 +27,10 @@ fn bench(name: &str, elems: u64, samples: u32, mut f: impl FnMut()) {
         best = best.min(start.elapsed().as_secs_f64());
     }
     let rate = elems as f64 / best;
-    println!("{name:<40} {:>12.0} ops/s   ({best:.6} s / {elems} ops)", rate);
+    println!(
+        "{name:<40} {:>12.0} ops/s   ({best:.6} s / {elems} ops)",
+        rate
+    );
 }
 
 fn bench_arpt() {
@@ -104,10 +107,15 @@ fn bench_functional_sim() {
     let program = workload("compress").unwrap().build(Scale::tiny());
     let mut probe = Machine::new(&program);
     probe.run(100_000_000).unwrap();
-    bench("functional_sim/compress_tiny_full_run", probe.retired(), 20, || {
-        let mut m = Machine::new(&program);
-        black_box(m.run(100_000_000).unwrap());
-    });
+    bench(
+        "functional_sim/compress_tiny_full_run",
+        probe.retired(),
+        20,
+        || {
+            let mut m = Machine::new(&program);
+            black_box(m.run(100_000_000).unwrap());
+        },
+    );
 }
 
 fn bench_timing_sim() {

@@ -10,42 +10,91 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use arl_asm::Program;
 use arl_core::{Capacity, Context, EvalConfig, HintTable, PredictorKind, Source};
 use arl_mem::{Region, RegionSet};
+use arl_sim::RegionProfiler;
 use arl_stats::{BarChart, TableBuilder};
 use arl_timing::{CacheConfig, MachineConfig, RecoveryMode, SimStats, TimingSim};
+use arl_trace::Trace;
 use arl_workloads::{suite, workload, Scale, WorkloadSpec};
 
 use crate::runner::{timed_record, Pool, RunRecord, SuiteReport};
 use crate::{
-    evaluate_program, fmt_millions, fmt_pct, profile_workload, scale_from_env, EvalReport,
-    ProfileReport,
+    capture_trace, capture_trace_with, evaluate_program, evaluate_trace, fmt_millions, fmt_pct,
+    profile_workload, scale_from_env, timing_trace, EvalReport, ProfileReport,
 };
 
-/// Scale and parallelism for one experiment run.
+/// How experiments obtain each workload's dynamic instruction stream.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TraceMode {
+    /// Execute each workload functionally exactly once, capturing its
+    /// trace, and fan the config sweep out over replays (the default:
+    /// the worker pool then scales with configs instead of re-execution).
+    Replay,
+    /// Re-execute the functional simulation for every (workload × config)
+    /// cell — the pre-trace harness, kept for cross-checking.
+    Live,
+}
+
+impl TraceMode {
+    /// Resolves a raw `ARL_TRACE` value: `"live"`, `"off"` or `"0"`
+    /// select [`TraceMode::Live`]; anything else — including unset —
+    /// selects [`TraceMode::Replay`].
+    pub fn from_value(value: Option<&str>) -> TraceMode {
+        match value {
+            Some(v)
+                if v.eq_ignore_ascii_case("live")
+                    || v.eq_ignore_ascii_case("off")
+                    || v.trim() == "0" =>
+            {
+                TraceMode::Live
+            }
+            _ => TraceMode::Replay,
+        }
+    }
+
+    /// Reads `ARL_TRACE`.
+    pub fn from_env() -> TraceMode {
+        TraceMode::from_value(std::env::var("ARL_TRACE").ok().as_deref())
+    }
+}
+
+/// Scale, parallelism, and trace mode for one experiment run.
 #[derive(Clone, Copy, Debug)]
 pub struct ExperimentOptions {
     /// Workload iteration scale.
     pub scale: Scale,
     /// Worker threads (1 = serial).
     pub threads: usize,
+    /// Execute-once/replay-many (default) or live re-execution.
+    pub trace: TraceMode,
 }
 
 impl ExperimentOptions {
     /// Explicit options (tests drive serial-vs-parallel comparisons with
-    /// this).
+    /// this). Uses the default [`TraceMode::Replay`].
     pub fn new(scale: Scale, threads: usize) -> ExperimentOptions {
         ExperimentOptions {
             scale,
             threads: threads.max(1),
+            trace: TraceMode::Replay,
         }
     }
 
-    /// Reads `ARL_SCALE` and `ARL_THREADS`.
+    /// Overrides the trace mode (tests drive live-vs-replay differential
+    /// comparisons with this).
+    pub fn with_trace(mut self, trace: TraceMode) -> ExperimentOptions {
+        self.trace = trace;
+        self
+    }
+
+    /// Reads `ARL_SCALE`, `ARL_THREADS`, and `ARL_TRACE`.
     pub fn from_env() -> ExperimentOptions {
         ExperimentOptions {
             scale: scale_from_env(),
             threads: Pool::from_env().threads(),
+            trace: TraceMode::from_env(),
         }
     }
 
@@ -120,34 +169,150 @@ fn timing_record(record: &mut RunRecord, stats: &SimStats) {
     record.peak_rss_bytes = stats.peak_rss_bytes;
 }
 
+/// One workload captured for replay: the built program plus its recorded
+/// dynamic trace.
+struct Captured {
+    spec: WorkloadSpec,
+    program: Program,
+    trace: Trace,
+}
+
+/// Executes every suite workload functionally exactly once (in parallel),
+/// capturing its trace. The per-workload `"capture"` records lead the
+/// experiment's record list; subsequent sweep cells are pure replays.
+fn capture_suite(opts: &ExperimentOptions) -> (Vec<Captured>, Vec<RunRecord>) {
+    let results = opts.pool().map(suite(), |_i, spec| {
+        timed_record(spec.name, "capture", |record| {
+            record.phase = "capture".into();
+            let program = spec.build(opts.scale);
+            let trace = capture_trace(&program, spec.name);
+            record.instructions = trace.metrics().instructions;
+            record.peak_rss_bytes = trace.metrics().peak_rss_bytes;
+            Captured {
+                spec,
+                program,
+                trace,
+            }
+        })
+    });
+    results.into_iter().unzip()
+}
+
+/// Regroups a flat `(value, record)` cell list (workload-major, `per`
+/// cells each) into per-workload rows, appending the records in cell
+/// order.
+fn group_cells<T>(
+    results: Vec<(T, RunRecord)>,
+    per: usize,
+    records: &mut Vec<RunRecord>,
+) -> Vec<Vec<T>> {
+    let mut grouped: Vec<Vec<T>> = Vec::with_capacity(results.len() / per.max(1) + 1);
+    for (i, (value, record)) in results.into_iter().enumerate() {
+        if i % per == 0 {
+            grouped.push(Vec::with_capacity(per));
+        }
+        grouped.last_mut().expect("chunk started").push(value);
+        records.push(record);
+    }
+    grouped
+}
+
 /// Runs every (workload × config) timing cell in parallel; the backbone
 /// of Figure 8 and the timing ablations. Results come back grouped by
 /// workload, configs in the given order.
+///
+/// In [`TraceMode::Replay`] each workload executes functionally once (a
+/// `"capture"` cell) and every config cell replays the trace; in
+/// [`TraceMode::Live`] every cell re-executes functionally. Both modes
+/// produce bit-identical [`SimStats`].
 fn timing_cells(
     opts: &ExperimentOptions,
     configs: &[MachineConfig],
 ) -> (Vec<Vec<SimStats>>, Vec<RunRecord>) {
-    let specs = suite();
-    let cells: Vec<(WorkloadSpec, MachineConfig)> = specs
-        .iter()
-        .flat_map(|spec| configs.iter().map(move |c| (*spec, c.clone())))
-        .collect();
-    let results = opts.pool().map(cells, |_i, (spec, config)| {
-        timed_record(spec.name, &config.name, |record| {
-            let program = spec.build(opts.scale);
-            let stats = TimingSim::run_program(&program, &config);
-            timing_record(record, &stats);
-            stats
-        })
-    });
-    let mut records = Vec::with_capacity(results.len());
-    let mut grouped: Vec<Vec<SimStats>> = Vec::with_capacity(specs.len());
-    for chunk in results.chunks(configs.len()) {
-        grouped.push(chunk.iter().map(|(s, _)| s.clone()).collect());
-    }
-    for (_, record) in results {
-        records.push(record);
-    }
+    let mut records = Vec::new();
+    let results = match opts.trace {
+        TraceMode::Replay => {
+            let (captured, capture_records) = capture_suite(opts);
+            records = capture_records;
+            let cells: Vec<(usize, MachineConfig)> = (0..captured.len())
+                .flat_map(|wi| configs.iter().map(move |c| (wi, c.clone())))
+                .collect();
+            opts.pool().map(cells, |_i, (wi, config)| {
+                let cap = &captured[wi];
+                timed_record(cap.spec.name, &config.name, |record| {
+                    record.phase = "replay".into();
+                    let stats = timing_trace(&cap.program, &cap.trace, cap.spec.name, &config);
+                    timing_record(record, &stats);
+                    stats
+                })
+            })
+        }
+        TraceMode::Live => {
+            let cells: Vec<(WorkloadSpec, MachineConfig)> = suite()
+                .iter()
+                .flat_map(|spec| configs.iter().map(move |c| (*spec, c.clone())))
+                .collect();
+            opts.pool().map(cells, |_i, (spec, config)| {
+                timed_record(spec.name, &config.name, |record| {
+                    let program = spec.build(opts.scale);
+                    let stats = TimingSim::run_program(&program, &config);
+                    timing_record(record, &stats);
+                    stats
+                })
+            })
+        }
+    };
+    let grouped = group_cells(results, configs.len(), &mut records);
+    (grouped, records)
+}
+
+/// Runs every (workload × scheme) prediction-evaluation cell in parallel;
+/// the backbone of Figure 4, Table 3 and the 2-bit ablation. Results come
+/// back grouped by workload, schemes in the given order.
+///
+/// Same capture-once/replay-many split as [`timing_cells`]; both modes
+/// produce bit-identical [`EvalReport`]s.
+fn eval_cells(
+    opts: &ExperimentOptions,
+    schemes: &[(&str, EvalConfig)],
+) -> (Vec<Vec<EvalReport>>, Vec<RunRecord>) {
+    let mut records = Vec::new();
+    let results = match opts.trace {
+        TraceMode::Replay => {
+            let (captured, capture_records) = capture_suite(opts);
+            records = capture_records;
+            let cells: Vec<(usize, usize)> = (0..captured.len())
+                .flat_map(|wi| (0..schemes.len()).map(move |si| (wi, si)))
+                .collect();
+            opts.pool().map(cells, |_i, (wi, si)| {
+                let cap = &captured[wi];
+                let (label, config) = &schemes[si];
+                timed_record(cap.spec.name, label, |record| {
+                    record.phase = "replay".into();
+                    let report =
+                        evaluate_trace(&cap.program, &cap.trace, cap.spec.name, config.clone());
+                    eval_record(record, &report);
+                    report
+                })
+            })
+        }
+        TraceMode::Live => {
+            let cells: Vec<(WorkloadSpec, usize)> = suite()
+                .iter()
+                .flat_map(|spec| (0..schemes.len()).map(move |si| (*spec, si)))
+                .collect();
+            opts.pool().map(cells, |_i, (spec, si)| {
+                let (label, config) = &schemes[si];
+                timed_record(spec.name, label, |record| {
+                    let program = spec.build(opts.scale);
+                    let report = evaluate_program(&program, spec.name, config.clone());
+                    eval_record(record, &report);
+                    report
+                })
+            })
+        }
+    };
+    let grouped = group_cells(results, schemes.len(), &mut records);
     (grouped, records)
 }
 
@@ -298,29 +463,16 @@ pub fn figure4(opts: &ExperimentOptions) -> ExperimentRun {
     let start = Instant::now();
     let schemes = EvalConfig::figure4_schemes();
     let specs = suite();
-    let cells: Vec<(WorkloadSpec, usize)> = specs
-        .iter()
-        .flat_map(|spec| (0..schemes.len()).map(move |si| (*spec, si)))
-        .collect();
-    let results = opts.pool().map(cells, |_i, (spec, si)| {
-        let (name, config) = &schemes[si];
-        timed_record(spec.name, name, |record| {
-            let program = spec.build(opts.scale);
-            let report = evaluate_program(&program, spec.name, config.clone());
-            eval_record(record, &report);
-            report
-        })
-    });
+    let (grouped, records) = eval_cells(opts, &schemes);
     let mut header: Vec<&str> = vec!["Benchmark", "Static-cover %"];
     header.extend(schemes.iter().map(|(n, _)| *n));
     let mut table = TableBuilder::new(&header);
     let mut sums = vec![[0.0f64; 2]; schemes.len()];
     let mut counts = [0u32; 2];
-    for (wi, spec) in specs.iter().enumerate() {
+    for (spec, reports) in specs.iter().zip(&grouped) {
         let mut row = vec![spec.spec_name.to_string()];
         let mut static_cover = String::new();
-        for (si, _) in schemes.iter().enumerate() {
-            let (report, _) = &results[wi * schemes.len() + si];
+        for (si, report) in reports.iter().enumerate() {
             if si == 0 {
                 static_cover = fmt_pct(report.stats.coverage(Source::Static), 1);
             }
@@ -345,7 +497,6 @@ pub fn figure4(opts: &ExperimentOptions) -> ExperimentRun {
         "Figure 4: dynamic classification accuracy (unlimited ARPT)"
     );
     let _ = writeln!(text, "{}", table.render());
-    let records = results.into_iter().map(|(_, r)| r).collect();
     finish("figure4", opts, records, text, start)
 }
 
@@ -359,34 +510,27 @@ pub fn table3(opts: &ExperimentOptions) -> ExperimentRun {
         ("w/ Hybrid", Context::HYBRID_8_24),
     ];
     let specs = suite();
-    let cells: Vec<(WorkloadSpec, usize)> = specs
+    let schemes: Vec<(&str, EvalConfig)> = contexts
         .iter()
-        .flat_map(|spec| (0..contexts.len()).map(move |ci| (*spec, ci)))
-        .collect();
-    let results = opts.pool().map(cells, |_i, (spec, ci)| {
-        let (name, context) = contexts[ci];
-        timed_record(spec.name, name, |record| {
-            let program = spec.build(opts.scale);
-            let report = evaluate_program(
-                &program,
-                spec.name,
+        .map(|(name, context)| {
+            (
+                *name,
                 EvalConfig {
                     kind: PredictorKind::OneBit,
-                    context,
+                    context: *context,
                     capacity: Capacity::Unlimited,
                     hints: None,
                 },
-            );
-            eval_record(record, &report);
-            report.arpt_occupied.unwrap_or(0)
+            )
         })
-    });
+        .collect();
+    let (grouped, records) = eval_cells(opts, &schemes);
     let mut table = TableBuilder::new(&["Bench.", "pc-only", "w/ GBH", "w/ CID", "w/ Hybrid"]);
-    for (wi, spec) in specs.iter().enumerate() {
+    for (spec, reports) in specs.iter().zip(&grouped) {
         let mut row = vec![spec.spec_name.to_string()];
         let mut base = 0usize;
-        for ci in 0..contexts.len() {
-            let (occupied, _) = results[wi * contexts.len() + ci];
+        for (ci, report) in reports.iter().enumerate() {
+            let occupied = report.arpt_occupied.unwrap_or(0);
             if ci == 0 {
                 base = occupied;
                 row.push(occupied.to_string());
@@ -407,7 +551,6 @@ pub fn table3(opts: &ExperimentOptions) -> ExperimentRun {
         "Table 3: entries occupied in an unlimited ARPT (dynamic instructions only)"
     );
     let _ = writeln!(text, "{}", table.render());
-    let records = results.into_iter().map(|(_, r)| r).collect();
     finish("table3", opts, records, text, start)
 }
 
@@ -481,27 +624,52 @@ pub fn figure5(opts: &ExperimentOptions) -> ExperimentRun {
         ("16K", Capacity::Entries(1 << 14)),
         ("8K", Capacity::Entries(1 << 13)),
     ];
-    // Cell = workload: the profile pass that derives the hint table is the
-    // expensive part, so each cell profiles once and replays 10 variants.
+    // Cell = workload: the hint table needs one profiled functional pass
+    // either way. In replay mode that pass also captures the trace (one
+    // recorded "capture" cell) and the 10 variants are pure replays; in
+    // live mode the pass is unrecorded and every variant re-executes, as
+    // the pre-trace harness did.
     let results = opts.pool().map(suite(), |_i, spec| {
-        let report = profile_workload(spec, opts.scale);
-        let hints = HintTable::from_profile(&report.profiler);
-        let mut row = vec![spec.spec_name.to_string()];
         let mut records = Vec::new();
+        let (program, hints, trace) = match opts.trace {
+            TraceMode::Replay => {
+                let program = spec.build(opts.scale);
+                let mut profiler = RegionProfiler::new();
+                let (trace, record) = timed_record(spec.name, "capture", |record| {
+                    record.phase = "capture".into();
+                    let trace = capture_trace_with(&program, spec.name, |e| profiler.observe(e));
+                    record.instructions = trace.metrics().instructions;
+                    record.peak_rss_bytes = trace.metrics().peak_rss_bytes;
+                    trace
+                });
+                records.push(record);
+                let hints = HintTable::from_profile(&profiler);
+                (program, hints, Some(trace))
+            }
+            TraceMode::Live => {
+                let report = profile_workload(spec, opts.scale);
+                let hints = HintTable::from_profile(&report.profiler);
+                (report.program, hints, None)
+            }
+        };
+        let mut row = vec![spec.spec_name.to_string()];
         for (cap_name, capacity) in &capacities {
             for with_hints in [false, true] {
                 let label = format!("{cap_name}{}", if with_hints { "+hints" } else { "" });
+                let config = EvalConfig {
+                    kind: PredictorKind::OneBit,
+                    context: Context::HYBRID_8_24,
+                    capacity: *capacity,
+                    hints: with_hints.then(|| hints.clone()),
+                };
                 let (eval, record) = timed_record(spec.name, &label, |record| {
-                    let eval = evaluate_program(
-                        &report.program,
-                        spec.name,
-                        EvalConfig {
-                            kind: PredictorKind::OneBit,
-                            context: Context::HYBRID_8_24,
-                            capacity: *capacity,
-                            hints: with_hints.then(|| hints.clone()),
-                        },
-                    );
+                    let eval = match &trace {
+                        Some(trace) => {
+                            record.phase = "replay".into();
+                            evaluate_trace(&program, trace, spec.name, config)
+                        }
+                        None => evaluate_program(&program, spec.name, config),
+                    };
                     eval_record(record, &eval);
                     eval
                 });
@@ -776,35 +944,26 @@ pub fn ablation_twobit(opts: &ExperimentOptions) -> ExperimentRun {
         ("2BIT-HYB", PredictorKind::TwoBit, Context::HYBRID_8_24),
     ];
     let specs = suite();
-    let cells: Vec<(WorkloadSpec, usize)> = specs
+    let schemes: Vec<(&str, EvalConfig)> = variants
         .iter()
-        .flat_map(|spec| (0..variants.len()).map(move |vi| (*spec, vi)))
-        .collect();
-    let results = opts.pool().map(cells, |_i, (spec, vi)| {
-        let (label, kind, context) = variants[vi];
-        timed_record(spec.name, label, |record| {
-            let program = spec.build(opts.scale);
-            let report = evaluate_program(
-                &program,
-                spec.name,
+        .map(|(label, kind, context)| {
+            (
+                *label,
                 EvalConfig {
-                    kind,
-                    context,
+                    kind: *kind,
+                    context: *context,
                     capacity: Capacity::Unlimited,
                     hints: None,
                 },
-            );
-            eval_record(record, &report);
-            report.stats.accuracy()
+            )
         })
-    });
+        .collect();
+    let (grouped, records) = eval_cells(opts, &schemes);
     let mut table = TableBuilder::new(&["Benchmark", "1BIT", "2BIT", "1BIT-HYB", "2BIT-HYB"]);
     let mut wins = [0u32; 2];
-    for (wi, spec) in specs.iter().enumerate() {
+    for (spec, reports) in specs.iter().zip(&grouped) {
         let mut row = vec![spec.spec_name.to_string()];
-        let accs: Vec<f64> = (0..variants.len())
-            .map(|vi| results[wi * variants.len() + vi].0)
-            .collect();
+        let accs: Vec<f64> = reports.iter().map(|r| r.stats.accuracy()).collect();
         for acc in &accs {
             row.push(fmt_pct(*acc, 3));
         }
@@ -817,14 +976,16 @@ pub fn ablation_twobit(opts: &ExperimentOptions) -> ExperimentRun {
         table.row(&row);
     }
     let mut text = String::new();
-    let _ = writeln!(text, "Ablation: 1-bit vs 2-bit ARPT entries (unlimited table)");
+    let _ = writeln!(
+        text,
+        "Ablation: 1-bit vs 2-bit ARPT entries (unlimited table)"
+    );
     let _ = writeln!(text, "{}", table.render());
     let _ = writeln!(
         text,
         "1-bit ≥ 2-bit on {}/12 workloads (plain) and {}/12 (hybrid context)",
         wins[0], wins[1]
     );
-    let records = results.into_iter().map(|(_, r)| r).collect();
     finish("ablation_twobit", opts, records, text, start)
 }
 
@@ -837,16 +998,37 @@ pub fn probe(opts: &ExperimentOptions, name: &str) -> ExperimentRun {
         MachineConfig::conventional(16, 2),
         MachineConfig::decoupled(3, 3),
     ];
-    let results = opts.pool().map(configs.to_vec(), |_i, config| {
-        timed_record(spec.name, &config.name, |record| {
-            let program = spec.build(opts.scale);
-            let stats = TimingSim::run_program(&program, &config);
-            timing_record(record, &stats);
-            stats
-        })
-    });
-    let mut text = String::new();
     let mut records = Vec::new();
+    let results = match opts.trace {
+        TraceMode::Replay => {
+            let program = spec.build(opts.scale);
+            let (trace, record) = timed_record(spec.name, "capture", |record| {
+                record.phase = "capture".into();
+                let trace = capture_trace(&program, spec.name);
+                record.instructions = trace.metrics().instructions;
+                record.peak_rss_bytes = trace.metrics().peak_rss_bytes;
+                trace
+            });
+            records.push(record);
+            opts.pool().map(configs.to_vec(), |_i, config| {
+                timed_record(spec.name, &config.name, |record| {
+                    record.phase = "replay".into();
+                    let stats = timing_trace(&program, &trace, spec.name, &config);
+                    timing_record(record, &stats);
+                    stats
+                })
+            })
+        }
+        TraceMode::Live => opts.pool().map(configs.to_vec(), |_i, config| {
+            timed_record(spec.name, &config.name, |record| {
+                let program = spec.build(opts.scale);
+                let stats = TimingSim::run_program(&program, &config);
+                timing_record(record, &stats);
+                stats
+            })
+        }),
+    };
+    let mut text = String::new();
     for (s, record) in results {
         let _ = writeln!(
             text,

@@ -9,12 +9,18 @@
 //! * [`evaluate`] — prediction-accuracy runs for arbitrary
 //!   [`EvalConfig`]s (drives Figure 4, Table 3, Figure 5 and the 2-bit
 //!   ablation).
+//! * [`capture_trace`] / [`evaluate_trace`] / [`timing_trace`] — the
+//!   execute-once/replay-many pipeline: each workload runs functionally
+//!   once per experiment and the config sweep replays its `.arltrace`
+//!   capture (`ARL_TRACE=live` restores per-cell re-execution; outputs
+//!   are byte-identical either way).
 //! * [`Pool`] / [`experiments`] — every binary fans its (workload ×
 //!   config) cells across a scoped thread pool (`ARL_THREADS`; default all
 //!   cores) and folds results in cell order, so output is byte-identical
 //!   to a serial run.
-//! * [`SuiteReport`] — structured [`RunRecord`]s per cell, written as
-//!   `BENCH_<experiment>.json` when `ARL_JSON` is set.
+//! * [`SuiteReport`] — structured [`RunRecord`]s per cell (tagged with a
+//!   capture/replay/execute `phase`), written as `BENCH_<experiment>.json`
+//!   when `ARL_JSON` is set.
 //! * [`scale_from_env`] — every binary honours `ARL_SCALE` (an integer
 //!   iteration multiplier; `tiny` for smoke runs) so results can be
 //!   reproduced at larger scales without recompiling.
@@ -33,16 +39,17 @@ mod runner;
 pub use experiments::{
     ablation_l1size, ablation_lvc, ablation_ports, ablation_recovery, ablation_twobit, figure2,
     figure4, figure5, figure8, probe, run_main, table1, table2, table3, table4, ExperimentOptions,
-    ExperimentRun,
+    ExperimentRun, TraceMode,
 };
-pub use runner::{timed_record, Pool, RunRecord, SuiteReport, JSON_SCHEMA};
+pub use runner::{threads_from_value, timed_record, Pool, RunRecord, SuiteReport, JSON_SCHEMA};
 
 use arl_asm::Program;
 use arl_core::{EvalConfig, Evaluator, HintTable, PredictionStats};
 use arl_sim::{
-    Machine, Metrics, RegionBreakdown, RegionProfiler, SlidingWindowProfiler, WindowStats,
-    WorkloadCharacter,
+    Machine, Metrics, RegionBreakdown, RegionProfiler, SlidingWindowProfiler, TraceEntry,
+    TraceSource, WindowStats, WorkloadCharacter,
 };
+use arl_trace::{Replayer, Trace};
 use arl_workloads::{suite, Scale, WorkloadSpec};
 
 /// Hard cap on instructions per workload run — generous headroom over the
@@ -156,6 +163,82 @@ pub fn evaluate_program(program: &Program, name: &str, config: EvalConfig) -> Ev
         arpt_occupied: evaluator.arpt_occupied(),
         metrics: machine.metrics(),
     }
+}
+
+/// Captures a workload's full dynamic trace (one functional execution),
+/// optionally feeding every retired instruction to `visitor` so profilers
+/// ride along on the same pass.
+///
+/// # Panics
+///
+/// Panics if the workload fails to execute or exceeds [`INST_CAP`].
+pub fn capture_trace_with<F: FnMut(&TraceEntry)>(
+    program: &Program,
+    name: &str,
+    visitor: F,
+) -> Trace {
+    let trace = arl_trace::capture_with(program, INST_CAP, visitor)
+        .unwrap_or_else(|e| panic!("workload {name} failed: {e}"));
+    assert!(
+        trace.metrics().exited,
+        "workload {name} exceeded the instruction cap"
+    );
+    trace
+}
+
+/// Captures a workload's full dynamic trace (one functional execution).
+///
+/// # Panics
+///
+/// Panics if the workload fails to execute or exceeds [`INST_CAP`].
+pub fn capture_trace(program: &Program, name: &str) -> Trace {
+    capture_trace_with(program, name, |_| {})
+}
+
+/// Replays a captured trace through a predictor configuration — the
+/// trace-driven twin of [`evaluate_program`], with zero functional
+/// re-execution. The replayed entry stream is bit-identical to live
+/// execution, so the resulting [`EvalReport`] is too.
+///
+/// # Panics
+///
+/// Panics if the trace does not replay cleanly against `program`.
+pub fn evaluate_trace(
+    program: &Program,
+    trace: &Trace,
+    name: &str,
+    config: EvalConfig,
+) -> EvalReport {
+    let mut replayer = Replayer::new(trace, program)
+        .unwrap_or_else(|e| panic!("workload {name} trace rejected: {e}"));
+    let mut evaluator = Evaluator::new(config);
+    evaluator
+        .consume(&mut replayer)
+        .unwrap_or_else(|e| panic!("workload {name} replay failed: {e}"));
+    EvalReport {
+        stats: *evaluator.stats(),
+        arpt_occupied: evaluator.arpt_occupied(),
+        metrics: replayer.metrics(),
+    }
+}
+
+/// Replays a captured trace through the cycle-level timing model — the
+/// trace-driven twin of `TimingSim::run_program`, with zero functional
+/// re-execution and bit-identical `SimStats`.
+///
+/// # Panics
+///
+/// Panics if the trace does not replay cleanly against `program`.
+pub fn timing_trace(
+    program: &Program,
+    trace: &Trace,
+    name: &str,
+    config: &arl_timing::MachineConfig,
+) -> arl_timing::SimStats {
+    let mut replayer = Replayer::new(trace, program)
+        .unwrap_or_else(|e| panic!("workload {name} trace rejected: {e}"));
+    arl_timing::TimingSim::run_source(&mut replayer, config)
+        .unwrap_or_else(|e| panic!("workload {name} replay failed: {e}"))
 }
 
 /// Builds the paper's two hint sources for a profiled workload: the

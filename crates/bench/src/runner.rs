@@ -36,15 +36,17 @@ impl Pool {
     }
 
     /// Reads `ARL_THREADS`; defaults to all available cores.
-    /// `ARL_THREADS=1` reproduces the serial harness exactly.
+    /// `ARL_THREADS=1` reproduces the serial harness exactly; invalid
+    /// values fall back to the default (the output never depends on the
+    /// worker count, so a fallback is always safe).
     pub fn from_env() -> Pool {
-        let threads = match std::env::var("ARL_THREADS") {
-            Ok(v) => v
-                .parse()
-                .unwrap_or_else(|_| panic!("ARL_THREADS must be an integer, got {v:?}")),
-            Err(_) => std::thread::available_parallelism().map_or(1, |n| n.get()),
-        };
-        Pool::new(threads)
+        let value = std::env::var("ARL_THREADS").ok();
+        if let Some(v) = &value {
+            if v.trim().parse::<usize>().is_err() {
+                eprintln!("[arl-bench] ignoring invalid ARL_THREADS={v:?}; using all cores");
+            }
+        }
+        Pool::new(threads_from_value(value.as_deref()))
     }
 
     /// Worker count.
@@ -96,6 +98,16 @@ impl Pool {
     }
 }
 
+/// Resolves a raw `ARL_THREADS` value to a worker count: a positive
+/// integer is honoured (`0` clamps to 1), anything unparsable — or no
+/// value at all — falls back to all available cores.
+pub fn threads_from_value(value: Option<&str>) -> usize {
+    match value.and_then(|v| v.trim().parse::<usize>().ok()) {
+        Some(n) => n.max(1),
+        None => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    }
+}
+
 /// One (workload × config) cell's structured result.
 #[derive(Clone, Debug, PartialEq)]
 pub struct RunRecord {
@@ -103,6 +115,10 @@ pub struct RunRecord {
     pub workload: String,
     /// Configuration/scheme label (`"(3+3)"`, `"1BIT-HYBRID"`, `"profile"`).
     pub config: String,
+    /// How the cell obtained its instruction stream: `"execute"` (live
+    /// functional simulation), `"capture"` (live execution recording a
+    /// trace), or `"replay"` (trace-driven, no functional execution).
+    pub phase: String,
     /// Dynamic instructions the cell simulated.
     pub instructions: u64,
     /// Cycles, for timing cells.
@@ -125,6 +141,7 @@ impl RunRecord {
         RunRecord {
             workload: workload.to_string(),
             config: config.to_string(),
+            phase: "execute".to_string(),
             instructions: 0,
             cycles: None,
             ipc: None,
@@ -138,6 +155,7 @@ impl RunRecord {
         Json::obj([
             ("workload", Json::from(self.workload.as_str())),
             ("config", Json::from(self.config.as_str())),
+            ("phase", Json::from(self.phase.as_str())),
             ("instructions", Json::from(self.instructions)),
             ("cycles", Json::from(self.cycles)),
             ("ipc", Json::from(self.ipc)),
@@ -178,7 +196,9 @@ pub struct SuiteReport {
 }
 
 /// `BENCH_*.json` schema identifier; bump when the shape changes.
-pub const JSON_SCHEMA: &str = "arl-bench/v1";
+/// v2 added per-record `phase` and the report-level capture/replay
+/// wall-clock split for the execute-once/replay-many pipeline.
+pub const JSON_SCHEMA: &str = "arl-bench/v2";
 
 impl SuiteReport {
     /// An empty report for `experiment` (records are appended by the
@@ -193,6 +213,25 @@ impl SuiteReport {
         }
     }
 
+    /// Summed cell wall-clock spent functionally executing workloads
+    /// (the `"execute"` and `"capture"` phases).
+    pub fn capture_seconds(&self) -> f64 {
+        self.records
+            .iter()
+            .filter(|r| r.phase != "replay")
+            .map(|r| r.wall_seconds)
+            .sum()
+    }
+
+    /// Summed cell wall-clock spent replaying captured traces.
+    pub fn replay_seconds(&self) -> f64 {
+        self.records
+            .iter()
+            .filter(|r| r.phase == "replay")
+            .map(|r| r.wall_seconds)
+            .sum()
+    }
+
     /// The full `BENCH_*.json` document.
     pub fn to_json(&self) -> Json {
         Json::obj([
@@ -201,6 +240,8 @@ impl SuiteReport {
             ("scale", Json::from(self.scale.as_str())),
             ("threads", Json::from(self.threads)),
             ("wall_seconds", Json::from(self.wall_seconds)),
+            ("capture_seconds", Json::from(self.capture_seconds())),
+            ("replay_seconds", Json::from(self.replay_seconds())),
             (
                 "records",
                 Json::Arr(self.records.iter().map(RunRecord::to_json).collect()),
@@ -268,6 +309,32 @@ mod tests {
     }
 
     #[test]
+    fn threads_from_value_handles_edge_cases() {
+        let default = std::thread::available_parallelism().map_or(1, |n| n.get());
+        // Explicit counts are honoured; zero clamps to serial.
+        assert_eq!(threads_from_value(Some("1")), 1);
+        assert_eq!(threads_from_value(Some(" 3 ")), 3);
+        assert_eq!(threads_from_value(Some("0")), 1);
+        // Oversubscription is allowed — Pool::map caps workers at the
+        // cell count, so a huge value is harmless.
+        assert_eq!(threads_from_value(Some("4096")), 4096);
+        // Unset or invalid values fall back to all cores.
+        assert_eq!(threads_from_value(None), default);
+        for bad in ["", "lots", "-2", "1.5", "0x8"] {
+            assert_eq!(threads_from_value(Some(bad)), default, "value {bad:?}");
+        }
+    }
+
+    #[test]
+    fn oversubscribed_pool_output_matches_serial() {
+        // Far more workers than items: identical results, every item
+        // processed exactly once.
+        let serial = Pool::new(1).map((0..5).collect(), |_, x: i32| x * 10);
+        let oversub = Pool::new(64).map((0..5).collect(), |_, x: i32| x * 10);
+        assert_eq!(serial, oversub);
+    }
+
+    #[test]
     fn report_json_has_the_documented_schema() {
         let mut report = SuiteReport::new("unit", Scale::tiny(), 2);
         let ((), record) = timed_record("go", "(2+0)", |r| {
@@ -282,12 +349,28 @@ mod tests {
         assert_eq!(json.get("scale").unwrap().as_str(), Some("tiny"));
         let records = json.get("records").unwrap().as_array().unwrap();
         assert_eq!(records.len(), 1);
+        assert_eq!(records[0].get("phase").unwrap().as_str(), Some("execute"));
         assert_eq!(records[0].get("cycles").unwrap().as_u64(), Some(500));
         assert_eq!(records[0].get("accuracy"), Some(&Json::Null));
         assert!(records[0].get("wall_seconds").unwrap().as_f64().unwrap() >= 0.0);
+        assert!(json.get("capture_seconds").unwrap().as_f64().is_some());
+        assert!(json.get("replay_seconds").unwrap().as_f64().is_some());
         // The document round-trips through the parser.
         let text = json.render();
         assert_eq!(Json::parse(&text).unwrap(), json);
+    }
+
+    #[test]
+    fn phase_split_sums_capture_and_replay_wall_clock() {
+        let mut report = SuiteReport::new("unit", Scale::tiny(), 1);
+        for (phase, wall) in [("capture", 2.0), ("replay", 0.25), ("replay", 0.5)] {
+            let mut r = RunRecord::new("go", "(2+0)");
+            r.phase = phase.to_string();
+            r.wall_seconds = wall;
+            report.records.push(r);
+        }
+        assert!((report.capture_seconds() - 2.0).abs() < 1e-12);
+        assert!((report.replay_seconds() - 0.75).abs() < 1e-12);
     }
 
     #[test]

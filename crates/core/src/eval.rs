@@ -2,7 +2,7 @@
 //! (the measurement behind Figures 4 and 5 and Table 3).
 
 use arl_mem::Region;
-use arl_sim::TraceEntry;
+use arl_sim::{SourceError, TraceEntry, TraceSource};
 
 use crate::arpt::{Arpt, Capacity, CounterScheme};
 use crate::context::Context;
@@ -94,7 +94,7 @@ impl EvalConfig {
 }
 
 /// Per-source tallies.
-#[derive(Clone, Copy, Default, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
 pub struct SourceStats {
     /// References classified by this source.
     pub total: u64,
@@ -103,7 +103,7 @@ pub struct SourceStats {
 }
 
 /// Aggregate results of one evaluation run.
-#[derive(Clone, Copy, Default, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
 pub struct PredictionStats {
     /// Dynamic memory references observed.
     pub total: u64,
@@ -210,6 +210,19 @@ impl Evaluator {
             }
             None => (false, Source::Default),
         }
+    }
+
+    /// Drains a [`TraceSource`] — live executor or trace replayer — feeding
+    /// every entry through [`Evaluator::observe`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`SourceError`] from the source.
+    pub fn consume<S: TraceSource>(&mut self, source: &mut S) -> Result<(), SourceError> {
+        while let Some(entry) = source.next_entry()? {
+            self.observe(&entry);
+        }
+        Ok(())
     }
 
     /// Results so far.

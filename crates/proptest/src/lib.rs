@@ -35,7 +35,9 @@ pub mod test_runner;
 pub mod prelude {
     pub use crate::strategy::{any, Arbitrary, Just, Strategy};
     pub use crate::test_runner::{ProptestConfig, TestRng};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Declares property tests. Each function body is run for

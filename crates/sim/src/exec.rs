@@ -7,7 +7,7 @@ use arl_asm::Program;
 use arl_isa::{AluOp, FAluOp, FCmpOp, Gpr, Inst, Syscall, Width, INST_BYTES};
 use arl_mem::{AllocError, HeapAllocator, Layout, MemImage};
 
-use crate::trace::{MemAccess, TraceEntry};
+use crate::trace::{MemAccess, SourceError, TraceEntry, TraceSource};
 
 /// Errors raised during execution.
 #[derive(Debug)]
@@ -459,10 +459,27 @@ impl<'p> Machine<'p> {
                 None => break,
             }
         }
+        crate::count_functional_instructions(retired);
         Ok(RunOutcome {
             retired,
             exited: self.exited,
         })
+    }
+}
+
+/// The live executor is the canonical [`TraceSource`]: each entry costs one
+/// step of real functional execution (and bumps the process-wide
+/// [`functional_instructions_executed`](crate::functional_instructions_executed)
+/// counter the execute-once tests audit).
+impl TraceSource for Machine<'_> {
+    fn next_entry(&mut self) -> Result<Option<TraceEntry>, SourceError> {
+        let entry = self.step()?;
+        crate::count_functional_instructions(entry.is_some() as u64);
+        Ok(entry)
+    }
+
+    fn metrics(&self) -> crate::Metrics {
+        Machine::metrics(self)
     }
 }
 

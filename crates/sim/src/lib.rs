@@ -43,5 +43,24 @@ mod window;
 pub use exec::{ExecError, Machine, RunOutcome};
 pub use metrics::Metrics;
 pub use profile::{characterize, RegionBreakdown, RegionProfiler, WorkloadCharacter};
-pub use trace::{MemAccess, TraceEntry};
+pub use trace::{EntrySliceSource, MemAccess, SourceError, TraceEntry, TraceSource};
 pub use window::{SlidingWindowProfiler, WindowStats};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of instructions executed *functionally* (via
+/// [`Machine`]), across all threads. Trace replay does not advance it, so
+/// the execute-once/replay-many pipeline can audit that each workload was
+/// executed exactly once per experiment.
+static FUNCTIONAL_INSTRUCTIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Monotonic count of functionally executed instructions in this process.
+pub fn functional_instructions_executed() -> u64 {
+    FUNCTIONAL_INSTRUCTIONS.load(Ordering::Relaxed)
+}
+
+pub(crate) fn count_functional_instructions(n: u64) {
+    if n > 0 {
+        FUNCTIONAL_INSTRUCTIONS.fetch_add(n, Ordering::Relaxed);
+    }
+}

@@ -517,7 +517,9 @@ mod tests {
             v.get("a").unwrap().as_array().unwrap()[1].as_f64(),
             Some(25.0)
         );
-        for bad in ["", "{", "[1,]", "{\"a\":}", "tru", "1 2", "\"\\x\"", "{a:1}"] {
+        for bad in [
+            "", "{", "[1,]", "{\"a\":}", "tru", "1 2", "\"\\x\"", "{a:1}",
+        ] {
             assert!(Json::parse(bad).is_err(), "{bad:?} must not parse");
         }
     }

@@ -218,13 +218,12 @@ mod tests {
     #[test]
     fn strictly_bursty_predicate() {
         // Clustered: many zeros, a few large values → stddev > mean.
-        let bursty: Moments = std::iter::repeat(0.0)
-            .take(95)
-            .chain(std::iter::repeat(20.0).take(5))
+        let bursty: Moments = std::iter::repeat_n(0.0, 95)
+            .chain(std::iter::repeat_n(20.0, 5))
             .collect();
         assert!(bursty.is_strictly_bursty());
         // Constant stream → stddev 0 < mean.
-        let steady: Moments = std::iter::repeat(5.0).take(100).collect();
+        let steady: Moments = std::iter::repeat_n(5.0, 100).collect();
         assert!(!steady.is_strictly_bursty());
     }
 

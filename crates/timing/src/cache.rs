@@ -3,7 +3,7 @@
 use crate::config::{CacheConfig, MachineConfig, PortModel};
 
 /// Hit/miss counters for one cache.
-#[derive(Clone, Copy, Default, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
 pub struct CacheStats {
     /// Accesses that hit.
     pub hits: u64,

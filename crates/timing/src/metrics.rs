@@ -3,7 +3,7 @@
 use crate::cache::CacheStats;
 
 /// Aggregate statistics for one timing-simulation run.
-#[derive(Clone, Default, Debug)]
+#[derive(Clone, PartialEq, Default, Debug)]
 pub struct SimStats {
     /// Machine configuration name (`"(3+3)"`, ...).
     pub config_name: String,
@@ -32,8 +32,10 @@ pub struct SimStats {
     /// Correct confident value predictions.
     pub value_pred_correct: u64,
     /// Peak-RSS proxy for the simulated program: bytes resident in the
-    /// functional machine's sparse memory image at the end of the run
-    /// (zero for trace-driven runs, which have no machine).
+    /// functional machine's sparse memory image at the end of the run.
+    /// Captured traces carry the value in their footer, so replayed runs
+    /// report the same number as live execution (zero only for bare entry
+    /// slices, which have no functional metrics).
     pub peak_rss_bytes: u64,
     /// L1 data-cache hit/miss counts.
     pub dcache: CacheStats,

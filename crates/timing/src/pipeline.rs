@@ -12,7 +12,7 @@ use std::collections::VecDeque;
 use arl_asm::Program;
 use arl_core::{static_hint, Arpt, StaticHint};
 use arl_isa::{AluOp, FAluOp, Inst};
-use arl_sim::{Machine, TraceEntry};
+use arl_sim::{EntrySliceSource, Machine, SourceError, TraceEntry, TraceSource};
 
 use crate::cache::{MemSystem, Route};
 use crate::config::{MachineConfig, RecoveryMode};
@@ -168,65 +168,37 @@ impl TimingSim {
     /// Panics if the program fails functionally — workloads are
     /// deterministic, so that is a harness bug, not a timing condition.
     pub fn run_program(program: &Program, config: &MachineConfig) -> SimStats {
-        let mut sim = TimingSim::new(config);
         let mut machine = Machine::new(program);
-        let mut pending: Option<TraceEntry> = None;
-        loop {
-            sim.begin_cycle();
-            sim.commit_stage();
-            sim.memory_stage();
-            sim.issue_stage();
-            // Dispatch stage: pull from the functional machine.
-            let mut dispatched = 0;
-            while dispatched < sim.config.issue_width {
-                let entry = match pending.take() {
-                    Some(e) => e,
-                    None => match machine.step().expect("functional execution") {
-                        Some(e) => e,
-                        None => break,
-                    },
-                };
-                if sim.try_dispatch(&entry) {
-                    dispatched += 1;
-                } else {
-                    pending = Some(entry);
-                    break;
-                }
-            }
-            if pending.is_none()
-                && machine.exited()
-                && sim.rob.is_empty()
-                && sim.write_buffer.is_empty()
-            {
-                break;
-            }
-            debug_assert!(
-                sim.cycle < 100 * sim.stats.instructions.max(1_000_000),
-                "timing simulation is not making progress"
-            );
-        }
-        let mut stats = sim.finish();
-        stats.peak_rss_bytes = machine.metrics().peak_rss_bytes;
-        stats
+        TimingSim::run_source(&mut machine, config).expect("functional execution")
     }
 
-    /// Runs a pre-collected trace slice (useful for tests).
-    pub fn run_trace(entries: &[TraceEntry], config: &MachineConfig) -> SimStats {
+    /// Runs any [`TraceSource`] — a live [`Machine`] or a trace replayer —
+    /// through this machine model. The cycle-level behavior depends only on
+    /// the entry stream, so a faithful replayer produces statistics
+    /// bit-identical to live execution.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`SourceError`] from the source.
+    pub fn run_source<S: TraceSource>(
+        source: &mut S,
+        config: &MachineConfig,
+    ) -> Result<SimStats, SourceError> {
         let mut sim = TimingSim::new(config);
-        let mut it = entries.iter();
         let mut pending: Option<TraceEntry> = None;
+        let mut exhausted = false;
         loop {
             sim.begin_cycle();
             sim.commit_stage();
             sim.memory_stage();
             sim.issue_stage();
+            // Dispatch stage: pull from the source.
             let mut dispatched = 0;
-            let mut exhausted = false;
             while dispatched < sim.config.issue_width {
                 let entry = match pending.take() {
                     Some(e) => e,
-                    None => match it.next() {
-                        Some(e) => *e,
+                    None => match source.next_entry()? {
+                        Some(e) => e,
                         None => {
                             exhausted = true;
                             break;
@@ -243,8 +215,20 @@ impl TimingSim {
             if exhausted && pending.is_none() && sim.rob.is_empty() && sim.write_buffer.is_empty() {
                 break;
             }
+            debug_assert!(
+                sim.cycle < 100 * sim.stats.instructions.max(1_000_000),
+                "timing simulation is not making progress"
+            );
         }
-        sim.finish()
+        let mut stats = sim.finish();
+        stats.peak_rss_bytes = source.metrics().peak_rss_bytes;
+        Ok(stats)
+    }
+
+    /// Runs a pre-collected trace slice (useful for tests).
+    pub fn run_trace(entries: &[TraceEntry], config: &MachineConfig) -> SimStats {
+        let mut source = EntrySliceSource::new(entries);
+        TimingSim::run_source(&mut source, config).expect("slice sources cannot fail")
     }
 
     fn finish(mut self) -> SimStats {

@@ -161,7 +161,7 @@ proptest! {
         prop_assert_eq!(a.cycles, b.cycles);
         prop_assert_eq!(a.lvaq_refs, b.lvaq_refs);
         prop_assert_eq!(a.region_mispredicts, b.region_mispredicts);
-        prop_assert_eq!(a.mem_refs + 0, a.region_checks, "every ref is verified");
+        prop_assert_eq!(a.mem_refs, a.region_checks, "every ref is verified");
         // Frame accesses exist iff the atom list contains local ops.
         let has_locals = atoms.iter().any(|a| matches!(a, Atom::LoadLocal(..) | Atom::StoreLocal(..)));
         if has_locals {

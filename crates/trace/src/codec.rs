@@ -1,0 +1,136 @@
+//! Byte-level primitives for the trace format: LEB128 varints, zigzag
+//! signed mapping, and the FNV-1a 64-bit checksum.
+//!
+//! The checksum choice matters for the integrity guarantee: FNV-1a folds
+//! each byte in with `h = (h ^ b) * PRIME`. Both steps are injective in
+//! `h` for a fixed byte (xor is an involution; the prime is odd, hence
+//! invertible modulo 2^64), so two buffers differing in exactly one byte
+//! can never collide — any single-byte corruption is detected with
+//! certainty, not just with high probability.
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64-bit hash of `bytes`.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Appends `v` as an LEB128 varint (1–10 bytes).
+pub fn write_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Reads an LEB128 varint from `bytes` starting at `*pos`, advancing it.
+///
+/// Returns `None` on a truncated or overlong (more than 64 payload bits)
+/// encoding.
+pub fn read_varint(bytes: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let &byte = bytes.get(*pos)?;
+        *pos += 1;
+        let payload = (byte & 0x7f) as u64;
+        if shift >= 64 || (shift == 63 && payload > 1) {
+            return None;
+        }
+        v |= payload << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Zigzag-maps a signed delta onto an unsigned varint-friendly value
+/// (small magnitudes of either sign encode in few bytes).
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trips_boundaries() {
+        for v in [
+            0u64,
+            1,
+            0x7f,
+            0x80,
+            0x3fff,
+            0x4000,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            assert!(buf.len() <= 10);
+            let mut pos = 0;
+            assert_eq!(read_varint(&buf, &mut pos), Some(v));
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn truncated_varint_is_rejected() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, u64::MAX);
+        buf.pop();
+        let mut pos = 0;
+        assert_eq!(read_varint(&buf, &mut pos), None);
+    }
+
+    #[test]
+    fn overlong_varint_is_rejected() {
+        // Eleven continuation bytes: more than 64 payload bits.
+        let buf = [0x80u8; 10];
+        let mut pos = 0;
+        assert_eq!(read_varint(&buf, &mut pos), None);
+    }
+
+    #[test]
+    fn zigzag_round_trips() {
+        for v in [0i64, 1, -1, 2, -2, i64::MAX, i64::MIN, 12345, -54321] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+    }
+
+    #[test]
+    fn fnv_distinguishes_single_byte_flips() {
+        let base = b"hello, trace".to_vec();
+        let h = fnv1a64(&base);
+        for i in 0..base.len() {
+            for flip in 1..=255u8 {
+                let mut corrupt = base.clone();
+                corrupt[i] ^= flip;
+                assert_ne!(fnv1a64(&corrupt), h, "collision at byte {i}");
+            }
+        }
+    }
+}

@@ -1,0 +1,476 @@
+//! The `.arltrace` container: header, delta+varint event stream, footer,
+//! trailing FNV-1a checksum.
+//!
+//! # Layout
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "ARLT"
+//! 4       1     format version (currently 1)
+//! 5       8     program entry pc, u64 LE
+//! 13      …     event stream (one record per retired instruction)
+//! len-33  8     event count, u64 LE
+//! len-25  8     resident pages at end of run, u64 LE
+//! len-17  8     values printed by the program, u64 LE
+//! len-9   1     exited flag (0 or 1)
+//! len-8   8     FNV-1a 64 checksum of bytes[0..len-8], u64 LE
+//! ```
+//!
+//! # Event records
+//!
+//! Each record is one flags byte followed by up to four zigzag varints.
+//! Everything else a [`TraceEntry`](arl_sim::TraceEntry) carries — the
+//! decoded instruction, access width/direction, region, branch history,
+//! link register — is *re-derived* during replay from the program image
+//! and the replayer's own running state, so it costs zero trace bytes.
+//!
+//! | bit | meaning                         | varint that follows        |
+//! |-----|---------------------------------|----------------------------|
+//! | 0   | has a memory access             | `addr - prev_addr`         |
+//! | 1   | writes a GPR                    | `value - prev_value`       |
+//! | 2   | conditional branch taken        | —                          |
+//! | 3   | pc breaks from prior `next_pc`  | `pc - prev_next_pc`        |
+//! | 4   | `next_pc != pc + INST_BYTES`    | `next_pc - (pc + 8)`       |
+//!
+//! Varints appear in bit order 3, 4, 0, 1 (control flow first, then data).
+//! In straight-line code every record is a single zero byte.
+
+use arl_isa::INST_BYTES;
+use arl_mem::PAGE_SIZE;
+use arl_sim::{Metrics, SourceError, TraceEntry};
+
+use crate::codec::{fnv1a64, read_varint, unzigzag, write_varint, zigzag};
+
+/// `"ARLT"`.
+pub const MAGIC: [u8; 4] = *b"ARLT";
+/// Current format version.
+pub const VERSION: u8 = 1;
+
+pub(crate) const HEADER_LEN: usize = 13;
+pub(crate) const FOOTER_LEN: usize = 25;
+pub(crate) const CHECKSUM_LEN: usize = 8;
+pub(crate) const MIN_LEN: usize = HEADER_LEN + FOOTER_LEN + CHECKSUM_LEN;
+
+pub(crate) const FLAG_MEM: u8 = 1 << 0;
+pub(crate) const FLAG_VALUE: u8 = 1 << 1;
+pub(crate) const FLAG_TAKEN: u8 = 1 << 2;
+pub(crate) const FLAG_PC_BREAK: u8 = 1 << 3;
+pub(crate) const FLAG_NEXT_BREAK: u8 = 1 << 4;
+pub(crate) const FLAG_RESERVED: u8 = !0x1f;
+
+/// The codec-level view of one retired instruction: exactly the fields
+/// that are *encoded* (everything else is derived at replay).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TraceEvent {
+    /// The instruction's address.
+    pub pc: u64,
+    /// Address of the next retired instruction.
+    pub next_pc: u64,
+    /// Conditional-branch outcome (`false` for everything else).
+    pub taken: bool,
+    /// Effective address of the memory access, if any.
+    pub mem_addr: Option<u64>,
+    /// Value written to the destination GPR, if any.
+    pub value: Option<i64>,
+}
+
+impl TraceEvent {
+    /// Projects a full [`TraceEntry`] down to its encoded fields.
+    pub fn from_entry(e: &TraceEntry) -> TraceEvent {
+        TraceEvent {
+            pc: e.pc,
+            next_pc: e.next_pc,
+            taken: e.taken,
+            mem_addr: e.mem.map(|m| m.addr),
+            value: e.gpr_write.map(|(_, v)| v),
+        }
+    }
+}
+
+/// Delta state shared by the encoder and both decoders.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct DeltaState {
+    pub prev_next_pc: u64,
+    pub prev_addr: u64,
+    pub prev_value: i64,
+}
+
+impl DeltaState {
+    pub(crate) fn new(entry_pc: u64) -> DeltaState {
+        DeltaState {
+            prev_next_pc: entry_pc,
+            prev_addr: 0,
+            prev_value: 0,
+        }
+    }
+}
+
+/// Decodes one event record, advancing `pos` and the delta state.
+///
+/// Returns `None` on malformed bytes (truncated/overlong varint, reserved
+/// flag bits) — callers wrap that into [`SourceError::Corrupt`].
+pub(crate) fn decode_event(
+    bytes: &[u8],
+    pos: &mut usize,
+    state: &mut DeltaState,
+) -> Option<TraceEvent> {
+    let &flags = bytes.get(*pos)?;
+    *pos += 1;
+    if flags & FLAG_RESERVED != 0 {
+        return None;
+    }
+    let pc = if flags & FLAG_PC_BREAK != 0 {
+        let d = unzigzag(read_varint(bytes, pos)?);
+        state.prev_next_pc.wrapping_add(d as u64)
+    } else {
+        state.prev_next_pc
+    };
+    let fallthrough = pc.wrapping_add(INST_BYTES);
+    let next_pc = if flags & FLAG_NEXT_BREAK != 0 {
+        let d = unzigzag(read_varint(bytes, pos)?);
+        fallthrough.wrapping_add(d as u64)
+    } else {
+        fallthrough
+    };
+    let mem_addr = if flags & FLAG_MEM != 0 {
+        let d = unzigzag(read_varint(bytes, pos)?);
+        let addr = state.prev_addr.wrapping_add(d as u64);
+        state.prev_addr = addr;
+        Some(addr)
+    } else {
+        None
+    };
+    let value = if flags & FLAG_VALUE != 0 {
+        let d = unzigzag(read_varint(bytes, pos)?);
+        let v = state.prev_value.wrapping_add(d);
+        state.prev_value = v;
+        Some(v)
+    } else {
+        None
+    };
+    state.prev_next_pc = next_pc;
+    Some(TraceEvent {
+        pc,
+        next_pc,
+        taken: flags & FLAG_TAKEN != 0,
+        mem_addr,
+        value,
+    })
+}
+
+/// Incremental trace encoder. Feed it every retired instruction in order,
+/// then [`finish`](TraceWriter::finish) with the run's final [`Metrics`].
+#[derive(Clone, Debug)]
+pub struct TraceWriter {
+    buf: Vec<u8>,
+    state: DeltaState,
+    count: u64,
+}
+
+impl TraceWriter {
+    /// Starts a trace for a program whose first retired pc is `entry_pc`.
+    pub fn new(entry_pc: u64) -> TraceWriter {
+        let mut buf = Vec::with_capacity(4096);
+        buf.extend_from_slice(&MAGIC);
+        buf.push(VERSION);
+        buf.extend_from_slice(&entry_pc.to_le_bytes());
+        TraceWriter {
+            buf,
+            state: DeltaState::new(entry_pc),
+            count: 0,
+        }
+    }
+
+    /// Appends one event.
+    pub fn push(&mut self, e: &TraceEvent) {
+        let mut flags = 0u8;
+        if e.mem_addr.is_some() {
+            flags |= FLAG_MEM;
+        }
+        if e.value.is_some() {
+            flags |= FLAG_VALUE;
+        }
+        if e.taken {
+            flags |= FLAG_TAKEN;
+        }
+        let pc_break = e.pc != self.state.prev_next_pc;
+        if pc_break {
+            flags |= FLAG_PC_BREAK;
+        }
+        let fallthrough = e.pc.wrapping_add(INST_BYTES);
+        let next_break = e.next_pc != fallthrough;
+        if next_break {
+            flags |= FLAG_NEXT_BREAK;
+        }
+        self.buf.push(flags);
+        if pc_break {
+            let d = e.pc.wrapping_sub(self.state.prev_next_pc) as i64;
+            write_varint(&mut self.buf, zigzag(d));
+        }
+        if next_break {
+            let d = e.next_pc.wrapping_sub(fallthrough) as i64;
+            write_varint(&mut self.buf, zigzag(d));
+        }
+        if let Some(addr) = e.mem_addr {
+            let d = addr.wrapping_sub(self.state.prev_addr) as i64;
+            write_varint(&mut self.buf, zigzag(d));
+            self.state.prev_addr = addr;
+        }
+        if let Some(v) = e.value {
+            let d = v.wrapping_sub(self.state.prev_value);
+            write_varint(&mut self.buf, zigzag(d));
+            self.state.prev_value = v;
+        }
+        self.state.prev_next_pc = e.next_pc;
+        self.count += 1;
+    }
+
+    /// Appends one retired instruction (convenience over
+    /// [`TraceEvent::from_entry`] + [`push`](TraceWriter::push)).
+    pub fn record(&mut self, e: &TraceEntry) {
+        self.push(&TraceEvent::from_entry(e));
+    }
+
+    /// Events pushed so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Seals the trace: footer, checksum.
+    pub fn finish(mut self, metrics: &Metrics) -> Trace {
+        self.buf.extend_from_slice(&self.count.to_le_bytes());
+        self.buf
+            .extend_from_slice(&(metrics.resident_pages as u64).to_le_bytes());
+        self.buf
+            .extend_from_slice(&(metrics.output_values as u64).to_le_bytes());
+        self.buf.push(metrics.exited as u8);
+        let checksum = fnv1a64(&self.buf);
+        self.buf.extend_from_slice(&checksum.to_le_bytes());
+        Trace { bytes: self.buf }
+    }
+}
+
+fn read_u64_le(bytes: &[u8], at: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&bytes[at..at + 8]);
+    u64::from_le_bytes(b)
+}
+
+/// A validated captured trace: owns the raw container bytes.
+///
+/// Construction goes through [`Trace::from_bytes`] (which verifies the
+/// checksum, so any single-byte corruption in transit or on disk is
+/// rejected) or through capture/encoding, which seal a fresh checksum.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Trace {
+    bytes: Vec<u8>,
+}
+
+impl Trace {
+    /// Encodes an event sequence directly (tests and tools; workload
+    /// capture goes through [`capture`](crate::capture)).
+    pub fn from_events(entry_pc: u64, events: &[TraceEvent], metrics: &Metrics) -> Trace {
+        let mut w = TraceWriter::new(entry_pc);
+        for e in events {
+            w.push(e);
+        }
+        w.finish(metrics)
+    }
+
+    /// Validates and adopts serialized trace bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`SourceError::Corrupt`] when the container is too short, the
+    /// checksum does not match, or the magic/version are wrong.
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<Trace, SourceError> {
+        if bytes.len() < MIN_LEN {
+            return Err(SourceError::Corrupt(format!(
+                "trace too short: {} bytes, need at least {MIN_LEN}",
+                bytes.len()
+            )));
+        }
+        let body_len = bytes.len() - CHECKSUM_LEN;
+        let stored = read_u64_le(&bytes, body_len);
+        let computed = fnv1a64(&bytes[..body_len]);
+        if stored != computed {
+            return Err(SourceError::Corrupt(format!(
+                "checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            )));
+        }
+        if bytes[..4] != MAGIC {
+            return Err(SourceError::Corrupt("bad magic (not an ARLT trace)".into()));
+        }
+        if bytes[4] != VERSION {
+            return Err(SourceError::Corrupt(format!(
+                "unsupported trace version {} (expected {VERSION})",
+                bytes[4]
+            )));
+        }
+        Ok(Trace { bytes })
+    }
+
+    /// The serialized container.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Consumes the trace, yielding the serialized container.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// The pc of the first retired instruction.
+    pub fn entry_pc(&self) -> u64 {
+        read_u64_le(&self.bytes, 5)
+    }
+
+    /// Number of encoded events (= instructions retired during capture).
+    pub fn event_count(&self) -> u64 {
+        read_u64_le(&self.bytes, self.bytes.len() - CHECKSUM_LEN - FOOTER_LEN)
+    }
+
+    /// The sealed FNV-1a checksum.
+    pub fn checksum(&self) -> u64 {
+        read_u64_le(&self.bytes, self.bytes.len() - CHECKSUM_LEN)
+    }
+
+    /// Reconstructs the functional [`Metrics`] the capture run ended with.
+    pub fn metrics(&self) -> Metrics {
+        let footer = self.bytes.len() - CHECKSUM_LEN - FOOTER_LEN;
+        let resident_pages = read_u64_le(&self.bytes, footer + 8) as usize;
+        Metrics {
+            instructions: self.event_count(),
+            resident_pages,
+            peak_rss_bytes: resident_pages as u64 * PAGE_SIZE,
+            output_values: read_u64_le(&self.bytes, footer + 16) as usize,
+            exited: self.bytes[footer + 24] != 0,
+        }
+    }
+
+    /// The encoded event stream (between header and footer).
+    pub(crate) fn body(&self) -> &[u8] {
+        &self.bytes[HEADER_LEN..self.bytes.len() - CHECKSUM_LEN - FOOTER_LEN]
+    }
+
+    /// Decodes the full event sequence (codec tests and tools; simulation
+    /// replays incrementally via [`Replayer`](crate::Replayer) instead).
+    ///
+    /// # Errors
+    ///
+    /// [`SourceError::Corrupt`] when the stream is malformed or its length
+    /// disagrees with the footer's event count.
+    pub fn events(&self) -> Result<Vec<TraceEvent>, SourceError> {
+        let body = self.body();
+        let mut state = DeltaState::new(self.entry_pc());
+        let mut pos = 0;
+        let count = self.event_count();
+        let mut events = Vec::with_capacity(count.min(1 << 20) as usize);
+        for i in 0..count {
+            let event = decode_event(body, &mut pos, &mut state)
+                .ok_or_else(|| SourceError::Corrupt(format!("malformed event {i}")))?;
+            events.push(event);
+        }
+        if pos != body.len() {
+            return Err(SourceError::Corrupt(format!(
+                "{} trailing bytes after {count} events",
+                body.len() - pos
+            )));
+        }
+        Ok(events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(pc: u64, next_pc: u64) -> TraceEvent {
+        TraceEvent {
+            pc,
+            next_pc,
+            taken: false,
+            mem_addr: None,
+            value: None,
+        }
+    }
+
+    #[test]
+    fn straight_line_events_cost_one_byte_each() {
+        let events: Vec<TraceEvent> = (0..100).map(|i| ev(8 * i, 8 * (i + 1))).collect();
+        let t = Trace::from_events(0, &events, &Metrics::default());
+        assert_eq!(t.as_bytes().len(), MIN_LEN + events.len());
+        assert_eq!(t.events().unwrap(), events);
+    }
+
+    #[test]
+    fn round_trip_preserves_all_fields() {
+        let events = vec![
+            TraceEvent {
+                pc: 0x10000,
+                next_pc: 0x10008,
+                taken: false,
+                mem_addr: Some(0x7fff_0000),
+                value: Some(-5),
+            },
+            TraceEvent {
+                pc: 0x10008,
+                next_pc: 0x10000,
+                taken: true,
+                mem_addr: None,
+                value: None,
+            },
+            TraceEvent {
+                pc: 0x10000,
+                next_pc: 0x10008,
+                taken: false,
+                mem_addr: Some(0x7fff_0008),
+                value: Some(i64::MIN),
+            },
+        ];
+        let metrics = Metrics {
+            instructions: 3,
+            resident_pages: 7,
+            peak_rss_bytes: 7 * PAGE_SIZE,
+            output_values: 2,
+            exited: true,
+        };
+        let t = Trace::from_events(0x10000, &events, &metrics);
+        assert_eq!(t.events().unwrap(), events);
+        assert_eq!(t.entry_pc(), 0x10000);
+        assert_eq!(t.event_count(), 3);
+        assert_eq!(t.metrics(), metrics);
+
+        let reparsed = Trace::from_bytes(t.as_bytes().to_vec()).unwrap();
+        assert_eq!(reparsed, t);
+    }
+
+    #[test]
+    fn every_single_byte_corruption_is_rejected() {
+        let events: Vec<TraceEvent> = (0..8)
+            .map(|i| TraceEvent {
+                pc: 8 * i,
+                next_pc: 8 * (i + 1),
+                taken: i % 2 == 0,
+                mem_addr: (i % 3 == 0).then_some(0x1000 + i),
+                value: (i % 2 == 1).then_some(i as i64),
+            })
+            .collect();
+        let t = Trace::from_events(0, &events, &Metrics::default());
+        let good = t.as_bytes().to_vec();
+        for i in 0..good.len() {
+            let mut bad = good.clone();
+            bad[i] ^= 0x41;
+            assert!(
+                Trace::from_bytes(bad).is_err(),
+                "corruption at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn short_buffers_are_rejected() {
+        assert!(Trace::from_bytes(Vec::new()).is_err());
+        assert!(Trace::from_bytes(vec![0u8; MIN_LEN - 1]).is_err());
+    }
+}

@@ -1,0 +1,260 @@
+//! Trace capture and the replaying [`TraceSource`].
+
+use arl_asm::Program;
+use arl_isa::{Gpr, Inst};
+use arl_mem::Layout;
+use arl_sim::{ExecError, Machine, MemAccess, Metrics, SourceError, TraceEntry, TraceSource};
+
+use crate::format::{decode_event, DeltaState, Trace, TraceWriter};
+
+/// Captures a workload's full dynamic trace by executing it functionally
+/// once (bounded by `max_insts`).
+///
+/// # Errors
+///
+/// Propagates the first [`ExecError`] from execution.
+pub fn capture(program: &Program, max_insts: u64) -> Result<Trace, ExecError> {
+    capture_with(program, max_insts, |_| {})
+}
+
+/// Like [`capture`], additionally passing every retired instruction to
+/// `visitor` — so profilers can ride along on the single functional
+/// execution instead of forcing a second one.
+///
+/// # Errors
+///
+/// Propagates the first [`ExecError`] from execution.
+pub fn capture_with<F: FnMut(&TraceEntry)>(
+    program: &Program,
+    max_insts: u64,
+    mut visitor: F,
+) -> Result<Trace, ExecError> {
+    let mut machine = Machine::new(program);
+    let mut writer = TraceWriter::new(program.entry_pc());
+    machine.run_with(max_insts, |e| {
+        writer.record(e);
+        visitor(e);
+    })?;
+    Ok(writer.finish(&machine.metrics()))
+}
+
+/// A [`TraceSource`] that reconstructs the full [`TraceEntry`] stream from
+/// a captured [`Trace`] plus the program image — without re-executing
+/// anything.
+///
+/// Reconstruction mirrors the functional executor's bookkeeping: the
+/// instruction is looked up at the decoded pc, width/direction come from
+/// the instruction, the region is re-classified from the address, and the
+/// sampled contexts (`ghr`, `ra`) are rebuilt by replaying branch outcomes
+/// and link-register writes in order. A replayed stream is therefore
+/// bit-identical to the live one — the differential suite holds this to
+/// `==` on every workload.
+pub struct Replayer<'a> {
+    program: &'a Program,
+    layout: Layout,
+    body: &'a [u8],
+    pos: usize,
+    state: DeltaState,
+    remaining: u64,
+    metrics: Metrics,
+    ghr: u64,
+    ra: u64,
+}
+
+impl<'a> Replayer<'a> {
+    /// Builds a replayer over `trace` for the program it was captured
+    /// from.
+    ///
+    /// # Errors
+    ///
+    /// [`SourceError::Corrupt`] when the trace's entry pc does not match
+    /// the program's (the trace belongs to a different program).
+    pub fn new(trace: &'a Trace, program: &'a Program) -> Result<Replayer<'a>, SourceError> {
+        if trace.entry_pc() != program.entry_pc() {
+            return Err(SourceError::Corrupt(format!(
+                "trace entry pc {:#x} does not match program entry pc {:#x}",
+                trace.entry_pc(),
+                program.entry_pc()
+            )));
+        }
+        Ok(Replayer {
+            program,
+            layout: *program.layout(),
+            body: trace.body(),
+            pos: 0,
+            state: DeltaState::new(trace.entry_pc()),
+            remaining: trace.event_count(),
+            metrics: trace.metrics(),
+            ghr: 0,
+            ra: 0,
+        })
+    }
+
+    /// Entries left to deliver.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+}
+
+impl TraceSource for Replayer<'_> {
+    fn next_entry(&mut self) -> Result<Option<TraceEntry>, SourceError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        let event = decode_event(self.body, &mut self.pos, &mut self.state)
+            .ok_or_else(|| SourceError::Corrupt("malformed event record".into()))?;
+        let inst = *self.program.inst_at(event.pc).ok_or_else(|| {
+            SourceError::Corrupt(format!("pc {:#x} is outside the text segment", event.pc))
+        })?;
+        // The flags must agree with the instruction the pc resolves to —
+        // a mismatch means the trace was captured from a different build
+        // of the program.
+        let mem = match (inst.mem_op(), event.mem_addr) {
+            (Some(info), Some(addr)) => Some(MemAccess {
+                addr,
+                width: info.width,
+                is_load: info.is_load,
+                region: self.layout.classify(addr),
+            }),
+            (None, None) => None,
+            _ => {
+                return Err(SourceError::Corrupt(format!(
+                    "memory flag disagrees with instruction at pc {:#x}",
+                    event.pc
+                )))
+            }
+        };
+        let gpr_write = match (inst.gpr_dest(), event.value) {
+            (Some(rd), Some(v)) => Some((rd, v)),
+            (None, None) => None,
+            _ => {
+                return Err(SourceError::Corrupt(format!(
+                    "value flag disagrees with instruction at pc {:#x}",
+                    event.pc
+                )))
+            }
+        };
+        if event.taken && !matches!(inst, Inst::Branch { .. }) {
+            return Err(SourceError::Corrupt(format!(
+                "taken flag on non-branch at pc {:#x}",
+                event.pc
+            )));
+        }
+        let entry = TraceEntry {
+            pc: event.pc,
+            inst,
+            mem,
+            taken: event.taken,
+            next_pc: event.next_pc,
+            gpr_write,
+            ghr: self.ghr,
+            ra: self.ra,
+        };
+        // Advance the replayed contexts exactly as the executor does.
+        if matches!(inst, Inst::Branch { .. }) {
+            self.ghr = (self.ghr << 1) | event.taken as u64;
+        }
+        if let Some((Gpr::RA, v)) = gpr_write {
+            self.ra = v as u64;
+        }
+        self.remaining -= 1;
+        Ok(Some(entry))
+    }
+
+    fn metrics(&self) -> Metrics {
+        self.metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::TraceEvent;
+    use arl_workloads::workload;
+
+    fn flag_bytes() -> (Trace, Program) {
+        let spec = workload("go").expect("go workload");
+        let program = spec.build(arl_workloads::Scale::tiny());
+        let trace = capture(&program, 10_000).expect("capture");
+        (trace, program)
+    }
+
+    #[test]
+    fn replay_is_bit_identical_to_live_execution() {
+        let spec = workload("compress").expect("compress workload");
+        let program = spec.build(arl_workloads::Scale::tiny());
+
+        let mut live = Vec::new();
+        let mut machine = Machine::new(&program);
+        machine.run_with(50_000, |e| live.push(*e)).expect("run");
+
+        let trace = capture(&program, 50_000).expect("capture");
+        let mut replayer = Replayer::new(&trace, &program).expect("replayer");
+        let mut replayed = Vec::new();
+        while let Some(e) = replayer.next_entry().expect("replay") {
+            replayed.push(e);
+        }
+        assert_eq!(replayed.len(), live.len());
+        assert_eq!(replayed, live);
+        assert_eq!(replayer.metrics(), machine.metrics());
+        assert!(replayer.next_entry().unwrap().is_none(), "stays exhausted");
+    }
+
+    #[test]
+    fn replayer_rejects_wrong_program() {
+        let (trace, _program) = flag_bytes();
+        let other = workload("compress")
+            .unwrap()
+            .build(arl_workloads::Scale::tiny());
+        // Either the entry pcs differ (rejected at construction) or some
+        // decoded record disagrees with the other program's text.
+        match Replayer::new(&trace, &other) {
+            Err(_) => {}
+            Ok(mut r) => {
+                let mut err = None;
+                loop {
+                    match r.next_entry() {
+                        Ok(Some(_)) => continue,
+                        Ok(None) => break,
+                        Err(e) => {
+                            err = Some(e);
+                            break;
+                        }
+                    }
+                }
+                assert!(err.is_some(), "foreign trace replayed cleanly");
+            }
+        }
+    }
+
+    #[test]
+    fn capture_with_feeds_the_visitor_once_per_instruction() {
+        let spec = workload("go").expect("go workload");
+        let program = spec.build(arl_workloads::Scale::tiny());
+        let mut seen = 0u64;
+        let trace = capture_with(&program, 10_000, |_| seen += 1).expect("capture");
+        assert_eq!(seen, trace.event_count());
+        assert!(seen > 0);
+    }
+
+    #[test]
+    fn tampered_flag_byte_is_caught_even_with_a_fixed_checksum() {
+        // Forge a structurally valid trace whose flags disagree with the
+        // program text: the replayer's cross-checks must catch it.
+        let (_trace, program) = flag_bytes();
+        let entry_pc = program.entry_pc();
+        let bogus = TraceEvent {
+            pc: entry_pc,
+            next_pc: entry_pc + 8,
+            taken: true,
+            mem_addr: Some(0x1234),
+            value: Some(1),
+        };
+        let forged = Trace::from_events(entry_pc, &[bogus], &Metrics::default());
+        let mut r = Replayer::new(&forged, &program).expect("entry pc matches");
+        // No instruction is simultaneously a taken branch, a memory
+        // access, and a GPR writer, so a cross-check must fire whatever
+        // `_start` begins with.
+        assert!(r.next_entry().is_err());
+    }
+}

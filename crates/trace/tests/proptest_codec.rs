@@ -1,0 +1,104 @@
+//! Property tests for the delta+varint trace codec: encode→decode
+//! round-trips on arbitrary event sequences, and checksum rejection of
+//! single-byte corruption anywhere in the container.
+
+#![cfg(feature = "proptest-tests")]
+
+use arl_mem::PAGE_SIZE;
+use arl_sim::Metrics;
+use arl_trace::{Trace, TraceEvent};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Arbitrary events, mixing full-width random fields (worst case for the
+/// delta encoder) with clustered pcs/addresses (the common small-delta
+/// case the format is optimized for).
+fn events() -> impl Strategy<Value = Vec<TraceEvent>> {
+    let pc = prop_oneof![any::<u64>(), (0x10_000u64..0x11_000).prop_map(|p| p & !7)];
+    let next_pc = prop_oneof![any::<u64>(), (0x10_000u64..0x11_000).prop_map(|p| p & !7)];
+    let mem_addr = prop_oneof![
+        Just(None),
+        any::<u64>().prop_map(Some),
+        (0x7000_0000u64..0x7000_2000).prop_map(Some),
+    ];
+    let value = prop_oneof![
+        Just(None),
+        any::<i64>().prop_map(Some),
+        (-128i64..128).prop_map(Some),
+    ];
+    let event = (pc, next_pc, any::<bool>(), mem_addr, value).prop_map(
+        |(pc, next_pc, taken, mem_addr, value)| TraceEvent {
+            pc,
+            next_pc,
+            taken,
+            mem_addr,
+            value,
+        },
+    );
+    vec(event, 0..64)
+}
+
+fn metrics() -> impl Strategy<Value = Metrics> {
+    (0usize..1 << 20, 0usize..1 << 20, any::<bool>()).prop_map(
+        |(resident_pages, output_values, exited)| Metrics {
+            // The encoder ignores this field: `instructions` is rebuilt
+            // from the footer's event count at decode time.
+            instructions: 0,
+            resident_pages,
+            peak_rss_bytes: resident_pages as u64 * PAGE_SIZE,
+            output_values,
+            exited,
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn round_trip_preserves_events(
+        entry_pc in any::<u64>(),
+        evs in events(),
+        m in metrics(),
+    ) {
+        let trace = Trace::from_events(entry_pc, &evs, &m);
+        prop_assert_eq!(trace.entry_pc(), entry_pc);
+        prop_assert_eq!(trace.event_count(), evs.len() as u64);
+        prop_assert_eq!(trace.events().expect("decode"), evs);
+
+        let expect_metrics = Metrics { instructions: evs.len() as u64, ..m };
+        prop_assert_eq!(trace.metrics(), expect_metrics);
+
+        // Serialization is stable: re-adopting the bytes validates and
+        // yields the identical trace.
+        let reparsed = Trace::from_bytes(trace.as_bytes().to_vec()).expect("validate");
+        prop_assert_eq!(reparsed, trace);
+    }
+
+    #[test]
+    fn single_byte_corruption_is_always_rejected(
+        entry_pc in any::<u64>(),
+        evs in events(),
+        pick in any::<u64>(),
+        flip in 1u8..=255,
+    ) {
+        let trace = Trace::from_events(entry_pc, &evs, &Metrics::default());
+        let mut bytes = trace.into_bytes();
+        let at = (pick % bytes.len() as u64) as usize;
+        bytes[at] ^= flip;
+        prop_assert!(
+            Trace::from_bytes(bytes).is_err(),
+            "corrupting byte {} went undetected", at
+        );
+    }
+
+    #[test]
+    fn truncation_is_rejected(
+        entry_pc in any::<u64>(),
+        evs in events(),
+        cut in 1usize..64,
+    ) {
+        let trace = Trace::from_events(entry_pc, &evs, &Metrics::default());
+        let bytes = trace.into_bytes();
+        let keep = bytes.len().saturating_sub(cut);
+        prop_assert!(Trace::from_bytes(bytes[..keep].to_vec()).is_err());
+    }
+}

@@ -16,6 +16,7 @@
 //! | [`mem`] | `arl-mem` | layout, regions, memory image, allocator, TLB |
 //! | [`asm`] | `arl-asm` | program builder & linker |
 //! | [`sim`] | `arl-sim` | functional simulator & profilers |
+//! | [`trace`] | `arl-trace` | binary trace capture & replay |
 //! | [`core`] | `arl-core` | static heuristics, ARPT, hints, evaluator |
 //! | [`timing`] | `arl-timing` | cycle-level data-decoupled pipeline |
 //! | [`workloads`] | `arl-workloads` | the 12 synthetic SPEC95 analogs |
@@ -52,4 +53,5 @@ pub use arl_mem as mem;
 pub use arl_sim as sim;
 pub use arl_stats as stats;
 pub use arl_timing as timing;
+pub use arl_trace as trace;
 pub use arl_workloads as workloads;

@@ -143,8 +143,7 @@ fn window_doubling_doubles_the_means() {
 fn golden_figure2_shape_single_region_above_90_percent() {
     // Figure 2: in every workload, >90% of static memory instructions
     // touch exactly one region class over the whole run.
-    let reports =
-        arl_bench::profile_suite_with(&arl_bench::Pool::new(2), Scale::tiny());
+    let reports = arl_bench::profile_suite_with(&arl_bench::Pool::new(2), Scale::tiny());
     assert_eq!(reports.len(), suite().len());
     for report in &reports {
         let single = 1.0 - report.breakdown.static_multi_region_fraction();
@@ -273,4 +272,73 @@ fn object_images_execute_identically() {
         assert_eq!(oa.retired, ob.retired, "{name}: same instruction count");
         assert_eq!(a.output(), b.output(), "{name}: same output");
     }
+}
+
+#[test]
+fn table2_shape_heap_is_burstier_than_data_and_stack() {
+    // Table 2's qualitative claim: heap accesses arrive in bursts, while
+    // data-segment accesses are spread smoothly across windows. Pin the
+    // shape (not the exact numbers) at window size 32: across workloads
+    // that touch the heap at all, the heap's coefficient of variation
+    // dominates the data segment's, heap refs are strictly bursty
+    // (stddev > mean) almost everywhere, and most windows see no heap
+    // activity at all.
+    let mut heap_active = 0u32;
+    let mut heap_bursty = 0u32;
+    let mut data_bursty = 0u32;
+    let mut sum_cov = [0.0f64; 3];
+    let mut sum_idle = [0.0f64; 3];
+    for spec in suite() {
+        let program = spec.build(Scale::tiny());
+        let mut m = Machine::new(&program);
+        let mut windows = SlidingWindowProfiler::new();
+        m.run_with(CAP, |e| windows.observe(e)).expect("runs");
+        let w32 = &windows.stats()[0];
+        let cov = |r: Region| {
+            let mean = w32.mean(r);
+            if mean > 0.0 {
+                w32.stddev(r) / mean
+            } else {
+                0.0
+            }
+        };
+        if w32.mean(Region::Heap) > 0.0 {
+            heap_active += 1;
+            heap_bursty += w32.is_strictly_bursty(Region::Heap) as u32;
+            for (i, r) in Region::DATA_REGIONS.iter().enumerate() {
+                sum_cov[i] += cov(*r);
+                sum_idle[i] += w32.idle_fraction(*r);
+            }
+        }
+        data_bursty += w32.is_strictly_bursty(Region::Data) as u32;
+    }
+    // 8 of the 12 synthetic workloads exercise the heap.
+    assert!(
+        heap_active >= 6,
+        "suite lost its heap-active workloads ({heap_active})"
+    );
+    assert!(
+        heap_bursty * 4 >= heap_active * 3,
+        "heap must be strictly bursty on >=3/4 of heap-active workloads \
+         ({heap_bursty}/{heap_active})"
+    );
+    assert!(
+        data_bursty <= 2,
+        "data-segment accesses must stay smooth (bursty on {data_bursty} workloads)"
+    );
+    // DATA_REGIONS order is [Data, Heap, Stack].
+    let n = heap_active as f64;
+    assert!(
+        sum_cov[1] / n > sum_cov[0] / n && sum_cov[1] / n > sum_cov[2] / n,
+        "average heap CoV {:.3} must dominate data {:.3} and stack {:.3}",
+        sum_cov[1] / n,
+        sum_cov[0] / n,
+        sum_cov[2] / n
+    );
+    assert!(
+        sum_idle[1] / n > 0.5 && sum_idle[1] / n > sum_idle[0] / n,
+        "heap refs must cluster: idle-window fraction {:.3} (data {:.3})",
+        sum_idle[1] / n,
+        sum_idle[0] / n
+    );
 }
