@@ -10,10 +10,21 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "==> cargo build --release"
 cargo build --release
 
 echo "==> cargo test"
 cargo test -q
+
+echo "==> figure8_stalls smoke gate (ARL_SCALE=1)"
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+ARL_SCALE=1 ARL_PROBE=1 ARL_JSON="$smoke_dir" \
+    cargo run --quiet --release -p arl-bench --bin figure8_stalls
+test -s "$smoke_dir/BENCH_figure8_stalls.json"
+test -s "$smoke_dir/BENCH_figure8_stalls_probe.json"
 
 echo "CI OK"

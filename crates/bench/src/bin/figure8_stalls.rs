@@ -1,0 +1,13 @@
+//! Renders the **Figure 8 stall-attribution** companion table: for every
+//! Figure 8 memory-system configuration, where the suite's commit-blocked
+//! cycles go (fetch-dry, FU-full, ROB-full, execute/memory latency,
+//! memory-port contention, store ordering, ARPT redirect).
+//!
+//! The useful fraction plus the eight stall categories account for every
+//! simulated cycle — the probe layer attributes each cycle exactly once —
+//! so rows sum to 100%. Set `ARL_PROBE=1` to also get the raw per-cell
+//! histograms as `BENCH_figure8_stalls_probe.json`.
+
+fn main() {
+    arl_bench::run_main(arl_bench::figure8_stalls);
+}

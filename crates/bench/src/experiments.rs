@@ -14,15 +14,17 @@ use arl_asm::Program;
 use arl_core::{Capacity, Context, EvalConfig, HintTable, PredictorKind, Source};
 use arl_mem::{Region, RegionSet};
 use arl_sim::RegionProfiler;
-use arl_stats::{BarChart, TableBuilder};
-use arl_timing::{CacheConfig, MachineConfig, RecoveryMode, SimStats, TimingSim};
+use arl_stats::{BarChart, Json, TableBuilder};
+use arl_timing::{
+    CacheConfig, MachineConfig, Recorder, RecoveryMode, SimStats, StallCause, TimingSim,
+};
 use arl_trace::Trace;
 use arl_workloads::{suite, workload, Scale, WorkloadSpec};
 
-use crate::runner::{timed_record, Pool, RunRecord, SuiteReport};
+use crate::runner::{timed_record, write_probe_json, Pool, RunRecord, SuiteReport, PROBE_SCHEMA};
 use crate::{
     capture_trace, capture_trace_with, evaluate_program, evaluate_trace, fmt_millions, fmt_pct,
-    profile_workload, scale_from_env, timing_trace, EvalReport, ProfileReport,
+    profile_workload, scale_from_env, timing_trace, timing_trace_probed, EvalReport, ProfileReport,
 };
 
 /// How experiments obtain each workload's dynamic instruction stream.
@@ -60,7 +62,7 @@ impl TraceMode {
     }
 }
 
-/// Scale, parallelism, and trace mode for one experiment run.
+/// Scale, parallelism, trace mode, and probing for one experiment run.
 #[derive(Clone, Copy, Debug)]
 pub struct ExperimentOptions {
     /// Workload iteration scale.
@@ -69,16 +71,21 @@ pub struct ExperimentOptions {
     pub threads: usize,
     /// Execute-once/replay-many (default) or live re-execution.
     pub trace: TraceMode,
+    /// Attach a cycle-level [`Recorder`] to every timing cell and emit the
+    /// `BENCH_<experiment>_probe.json` document (`ARL_PROBE=1`). Rendered
+    /// tables and `SimStats` are byte-identical either way.
+    pub probe: bool,
 }
 
 impl ExperimentOptions {
     /// Explicit options (tests drive serial-vs-parallel comparisons with
-    /// this). Uses the default [`TraceMode::Replay`].
+    /// this). Uses the default [`TraceMode::Replay`], probing off.
     pub fn new(scale: Scale, threads: usize) -> ExperimentOptions {
         ExperimentOptions {
             scale,
             threads: threads.max(1),
             trace: TraceMode::Replay,
+            probe: false,
         }
     }
 
@@ -89,12 +96,35 @@ impl ExperimentOptions {
         self
     }
 
-    /// Reads `ARL_SCALE`, `ARL_THREADS`, and `ARL_TRACE`.
+    /// Overrides probing (tests drive probed-vs-unprobed differential
+    /// comparisons with this).
+    pub fn with_probe(mut self, probe: bool) -> ExperimentOptions {
+        self.probe = probe;
+        self
+    }
+
+    /// Resolves a raw `ARL_PROBE` value: unset, empty, `"0"`, `"false"`,
+    /// or `"off"` leave probing disabled; anything else enables it.
+    pub fn probe_from_value(value: Option<&str>) -> bool {
+        match value {
+            None => false,
+            Some(v) => {
+                let v = v.trim();
+                !(v.is_empty()
+                    || v == "0"
+                    || v.eq_ignore_ascii_case("false")
+                    || v.eq_ignore_ascii_case("off"))
+            }
+        }
+    }
+
+    /// Reads `ARL_SCALE`, `ARL_THREADS`, `ARL_TRACE`, and `ARL_PROBE`.
     pub fn from_env() -> ExperimentOptions {
         ExperimentOptions {
             scale: scale_from_env(),
             threads: Pool::from_env().threads(),
             trace: TraceMode::from_env(),
+            probe: Self::probe_from_value(std::env::var("ARL_PROBE").ok().as_deref()),
         }
     }
 
@@ -110,10 +140,13 @@ pub struct ExperimentRun {
     pub text: String,
     /// Structured per-cell records (the `BENCH_*.json` payload).
     pub report: SuiteReport,
+    /// The `BENCH_*_probe.json` document, when the run was probed.
+    pub probe: Option<Json>,
 }
 
 /// Runs an experiment with env-derived options, prints its text, and
-/// honours `ARL_JSON`. The shared `main` of every bench binary.
+/// honours `ARL_JSON` and `ARL_PROBE`. The shared `main` of every bench
+/// binary.
 pub fn run_main(experiment: impl FnOnce(&ExperimentOptions) -> ExperimentRun) {
     let opts = ExperimentOptions::from_env();
     let run = experiment(&opts);
@@ -126,6 +159,33 @@ pub fn run_main(experiment: impl FnOnce(&ExperimentOptions) -> ExperimentRun) {
             std::process::exit(1);
         }
     }
+    if let Some(doc) = &run.probe {
+        match write_probe_json(&run.report.experiment, doc) {
+            Ok(path) => eprintln!("[arl-bench] wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("[arl-bench] failed to write ARL_PROBE document: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// One probed timing cell, in cell order: which (workload × config) pair
+/// the attached [`Recorder`] watched.
+struct ProbeCell {
+    workload: String,
+    config: String,
+    recorder: Recorder,
+}
+
+impl ProbeCell {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("workload", Json::from(self.workload.as_str())),
+            ("config", Json::from(self.config.as_str())),
+            ("probe", self.recorder.to_json()),
+        ])
+    }
 }
 
 fn finish(
@@ -134,11 +194,30 @@ fn finish(
     records: Vec<RunRecord>,
     text: String,
     start: Instant,
+    probe_cells: Vec<ProbeCell>,
 ) -> ExperimentRun {
     let mut report = SuiteReport::new(name, opts.scale, opts.threads);
     report.records = records;
     report.wall_seconds = start.elapsed().as_secs_f64();
-    ExperimentRun { text, report }
+    // Experiments without timing cells still emit a (cell-less) document
+    // under `ARL_PROBE=1`, so every binary honours the flag uniformly.
+    let probe = opts.probe.then(|| {
+        Json::obj([
+            ("schema", Json::from(PROBE_SCHEMA)),
+            ("experiment", Json::from(name)),
+            ("scale", Json::from(report.scale.as_str())),
+            ("threads", Json::from(opts.threads)),
+            (
+                "cells",
+                Json::Arr(probe_cells.iter().map(ProbeCell::to_json).collect()),
+            ),
+        ])
+    });
+    ExperimentRun {
+        text,
+        report,
+        probe,
+    }
 }
 
 /// Profiles the whole suite in parallel; the backbone of the Section 3
@@ -217,9 +296,34 @@ fn group_cells<T>(
     grouped
 }
 
+/// Runs one timing cell, attaching a [`Recorder`] when `probe` is set.
+/// `trace` selects replay (Some) vs live execution (None); the stats are
+/// bit-identical across all four combinations.
+fn run_timing(
+    probe: bool,
+    program: &Program,
+    trace: Option<&Trace>,
+    name: &str,
+    config: &MachineConfig,
+) -> (SimStats, Option<Recorder>) {
+    match (probe, trace) {
+        (false, Some(trace)) => (timing_trace(program, trace, name, config), None),
+        (true, Some(trace)) => {
+            let (stats, rec) = timing_trace_probed(program, trace, name, config);
+            (stats, Some(rec))
+        }
+        (false, None) => (TimingSim::run_program(program, config), None),
+        (true, None) => {
+            let (stats, rec) = TimingSim::run_program_probed(program, config, Recorder::new());
+            (stats, Some(rec))
+        }
+    }
+}
+
 /// Runs every (workload × config) timing cell in parallel; the backbone
 /// of Figure 8 and the timing ablations. Results come back grouped by
-/// workload, configs in the given order.
+/// workload, configs in the given order, with one [`ProbeCell`] per cell
+/// (in cell order) when `opts.probe` is set.
 ///
 /// In [`TraceMode::Replay`] each workload executes functionally once (a
 /// `"capture"` cell) and every config cell replays the trace; in
@@ -228,7 +332,7 @@ fn group_cells<T>(
 fn timing_cells(
     opts: &ExperimentOptions,
     configs: &[MachineConfig],
-) -> (Vec<Vec<SimStats>>, Vec<RunRecord>) {
+) -> (Vec<Vec<SimStats>>, Vec<RunRecord>, Vec<ProbeCell>) {
     let mut records = Vec::new();
     let results = match opts.trace {
         TraceMode::Replay => {
@@ -241,9 +345,22 @@ fn timing_cells(
                 let cap = &captured[wi];
                 timed_record(cap.spec.name, &config.name, |record| {
                     record.phase = "replay".into();
-                    let stats = timing_trace(&cap.program, &cap.trace, cap.spec.name, &config);
+                    let (stats, rec) = run_timing(
+                        opts.probe,
+                        &cap.program,
+                        Some(&cap.trace),
+                        cap.spec.name,
+                        &config,
+                    );
                     timing_record(record, &stats);
-                    stats
+                    (
+                        stats,
+                        rec.map(|recorder| ProbeCell {
+                            workload: cap.spec.name.to_string(),
+                            config: config.name.clone(),
+                            recorder,
+                        }),
+                    )
                 })
             })
         }
@@ -255,15 +372,30 @@ fn timing_cells(
             opts.pool().map(cells, |_i, (spec, config)| {
                 timed_record(spec.name, &config.name, |record| {
                     let program = spec.build(opts.scale);
-                    let stats = TimingSim::run_program(&program, &config);
+                    let (stats, rec) = run_timing(opts.probe, &program, None, spec.name, &config);
                     timing_record(record, &stats);
-                    stats
+                    (
+                        stats,
+                        rec.map(|recorder| ProbeCell {
+                            workload: spec.name.to_string(),
+                            config: config.name.clone(),
+                            recorder,
+                        }),
+                    )
                 })
             })
         }
     };
+    let mut probe_cells = Vec::new();
+    let results: Vec<(SimStats, RunRecord)> = results
+        .into_iter()
+        .map(|((stats, cell), record)| {
+            probe_cells.extend(cell);
+            (stats, record)
+        })
+        .collect();
     let grouped = group_cells(results, configs.len(), &mut records);
-    (grouped, records)
+    (grouped, records, probe_cells)
 }
 
 /// Runs every (workload × scheme) prediction-evaluation cell in parallel;
@@ -338,7 +470,7 @@ pub fn table1(opts: &ExperimentOptions) -> ExperimentRun {
         "Table 1: workload characterization (synthetic SPEC95 analogs)"
     );
     let _ = writeln!(text, "{}", table.render());
-    finish("table1", opts, records, text, start)
+    finish("table1", opts, records, text, start, Vec::new())
 }
 
 /// **Table 2**: per-region access counts in 32/64-instruction windows.
@@ -402,7 +534,7 @@ pub fn table2(opts: &ExperimentOptions) -> ExperimentRun {
             idle.join(" ")
         );
     }
-    finish("table2", opts, records, text, start)
+    finish("table2", opts, records, text, start, Vec::new())
 }
 
 /// **Figure 2**: static memory instructions by accessed-region class.
@@ -454,7 +586,7 @@ pub fn figure2(opts: &ExperimentOptions) -> ExperimentRun {
         "Average stack-only share of static instructions: {}",
         fmt_pct(avg_stack, 1)
     );
-    finish("figure2", opts, records, text, start)
+    finish("figure2", opts, records, text, start, Vec::new())
 }
 
 /// **Figure 4**: classification accuracy of the five schemes over an
@@ -497,7 +629,7 @@ pub fn figure4(opts: &ExperimentOptions) -> ExperimentRun {
         "Figure 4: dynamic classification accuracy (unlimited ARPT)"
     );
     let _ = writeln!(text, "{}", table.render());
-    finish("figure4", opts, records, text, start)
+    finish("figure4", opts, records, text, start, Vec::new())
 }
 
 /// **Table 3**: ARPT entries occupied under each context scheme.
@@ -551,7 +683,7 @@ pub fn table3(opts: &ExperimentOptions) -> ExperimentRun {
         "Table 3: entries occupied in an unlimited ARPT (dynamic instructions only)"
     );
     let _ = writeln!(text, "{}", table.render());
-    finish("table3", opts, records, text, start)
+    finish("table3", opts, records, text, start, Vec::new())
 }
 
 /// **Table 4**: the base machine model parameter dump.
@@ -611,7 +743,7 @@ pub fn table4(opts: &ExperimentOptions) -> ExperimentRun {
     let mut text = String::new();
     let _ = writeln!(text, "Table 4: base machine model");
     let _ = writeln!(text, "{}", t.render());
-    finish("table4", opts, Vec::new(), text, start)
+    finish("table4", opts, Vec::new(), text, start, Vec::new())
 }
 
 /// **Figure 5**: 1BIT-HYBRID accuracy vs ARPT size, without/with hints.
@@ -697,7 +829,7 @@ pub fn figure5(opts: &ExperimentOptions) -> ExperimentRun {
         "Figure 5: 1BIT-HYBRID accuracy vs ARPT size, without/with compiler hints"
     );
     let _ = writeln!(text, "{}", table.render());
-    finish("figure5", opts, records, text, start)
+    finish("figure5", opts, records, text, start, Vec::new())
 }
 
 /// **Figure 8**: speedup of the paper's memory-system configurations over
@@ -705,7 +837,7 @@ pub fn figure5(opts: &ExperimentOptions) -> ExperimentRun {
 pub fn figure8(opts: &ExperimentOptions) -> ExperimentRun {
     let start = Instant::now();
     let configs = MachineConfig::figure8_suite();
-    let (grouped, records) = timing_cells(opts, &configs);
+    let (grouped, records, probe_cells) = timing_cells(opts, &configs);
     let specs = suite();
     let mut header: Vec<String> = vec!["Benchmark".into()];
     header.extend(configs.iter().map(|c| c.name.clone()));
@@ -745,7 +877,7 @@ pub fn figure8(opts: &ExperimentOptions) -> ExperimentRun {
     );
     let _ = writeln!(text, "{}", table.render());
     let _ = writeln!(text, "{}", chart.render());
-    finish("figure8", opts, records, text, start)
+    finish("figure8", opts, records, text, start, probe_cells)
 }
 
 /// Ablation: doubling the baseline L1 capacity.
@@ -755,7 +887,7 @@ pub fn ablation_l1size(opts: &ExperimentOptions) -> ExperimentRun {
     big.dcache.size_bytes = 128 * 1024;
     big.name = "(2+0)/128KB".into();
     let configs = [MachineConfig::baseline_2_0(), big];
-    let (grouped, records) = timing_cells(opts, &configs);
+    let (grouped, records, probe_cells) = timing_cells(opts, &configs);
     let specs = suite();
     let mut table = TableBuilder::new(&["Benchmark", "64KB cycles", "128KB cycles", "gain %"]);
     let mut total_gain = 0.0;
@@ -781,7 +913,7 @@ pub fn ablation_l1size(opts: &ExperimentOptions) -> ExperimentRun {
         "Average gain: {:+.2}% — capacity is not the baseline's bottleneck",
         total_gain / specs.len() as f64
     );
-    finish("ablation_l1size", opts, records, text, start)
+    finish("ablation_l1size", opts, records, text, start, probe_cells)
 }
 
 /// Ablation: LVC hit rate vs size.
@@ -800,7 +932,7 @@ pub fn ablation_lvc(opts: &ExperimentOptions) -> ExperimentRun {
             config
         })
         .collect();
-    let (grouped, records) = timing_cells(opts, &configs);
+    let (grouped, records, probe_cells) = timing_cells(opts, &configs);
     let specs = suite();
     let mut header = vec!["Benchmark".to_string()];
     header.extend(sizes.iter().map(|k| format!("{k}KB hit%")));
@@ -827,7 +959,7 @@ pub fn ablation_lvc(opts: &ExperimentOptions) -> ExperimentRun {
         "Ablation: Local Variable Cache hit rate vs size (direct-mapped, 1-cycle)"
     );
     let _ = writeln!(text, "{}", table.render());
-    finish("ablation_lvc", opts, records, text, start)
+    finish("ablation_lvc", opts, records, text, start, probe_cells)
 }
 
 /// Ablation: cache-bandwidth implementations.
@@ -850,7 +982,7 @@ pub fn ablation_ports(opts: &ExperimentOptions) -> ExperimentRun {
     configs.push(split_banked);
     configs.push(MachineConfig::decoupled(3, 3));
 
-    let (grouped, records) = timing_cells(opts, &configs);
+    let (grouped, records, probe_cells) = timing_cells(opts, &configs);
     let specs = suite();
     let mut header = vec!["Benchmark".to_string()];
     header.extend(configs.iter().map(|c| c.name.clone()));
@@ -884,7 +1016,7 @@ pub fn ablation_ports(opts: &ExperimentOptions) -> ExperimentRun {
          buffer gives a single-ported array a second effective port; banked\n\
          data caches compose with data decoupling."
     );
-    finish("ablation_ports", opts, records, text, start)
+    finish("ablation_ports", opts, records, text, start, probe_cells)
 }
 
 /// Ablation: region-misprediction recovery policy × penalty.
@@ -906,7 +1038,7 @@ pub fn ablation_recovery(opts: &ExperimentOptions) -> ExperimentRun {
             config
         })
         .collect();
-    let (grouped, records) = timing_cells(opts, &configs);
+    let (grouped, records, probe_cells) = timing_cells(opts, &configs);
     let specs = suite();
     let mut header = vec!["Benchmark".to_string(), "mispred/1K refs".into()];
     header.extend(variants.iter().map(|(n, _, _)| n.clone()));
@@ -931,7 +1063,7 @@ pub fn ablation_recovery(opts: &ExperimentOptions) -> ExperimentRun {
         "Ablation: recovery policy × penalty, slowdown relative to selective/p1"
     );
     let _ = writeln!(text, "{}", table.render());
-    finish("ablation_recovery", opts, records, text, start)
+    finish("ablation_recovery", opts, records, text, start, probe_cells)
 }
 
 /// Ablation: 1-bit vs 2-bit ARPT entries.
@@ -986,7 +1118,7 @@ pub fn ablation_twobit(opts: &ExperimentOptions) -> ExperimentRun {
         "1-bit ≥ 2-bit on {}/12 workloads (plain) and {}/12 (hybrid context)",
         wins[0], wins[1]
     );
-    finish("ablation_twobit", opts, records, text, start)
+    finish("ablation_twobit", opts, records, text, start, Vec::new())
 }
 
 /// Diagnostic: full [`SimStats`] dump for one workload × a few configs.
@@ -1013,23 +1145,40 @@ pub fn probe(opts: &ExperimentOptions, name: &str) -> ExperimentRun {
             opts.pool().map(configs.to_vec(), |_i, config| {
                 timed_record(spec.name, &config.name, |record| {
                     record.phase = "replay".into();
-                    let stats = timing_trace(&program, &trace, spec.name, &config);
+                    let (stats, rec) =
+                        run_timing(opts.probe, &program, Some(&trace), spec.name, &config);
                     timing_record(record, &stats);
-                    stats
+                    (
+                        stats,
+                        rec.map(|recorder| ProbeCell {
+                            workload: spec.name.to_string(),
+                            config: config.name.clone(),
+                            recorder,
+                        }),
+                    )
                 })
             })
         }
         TraceMode::Live => opts.pool().map(configs.to_vec(), |_i, config| {
             timed_record(spec.name, &config.name, |record| {
                 let program = spec.build(opts.scale);
-                let stats = TimingSim::run_program(&program, &config);
+                let (stats, rec) = run_timing(opts.probe, &program, None, spec.name, &config);
                 timing_record(record, &stats);
-                stats
+                (
+                    stats,
+                    rec.map(|recorder| ProbeCell {
+                        workload: spec.name.to_string(),
+                        config: config.name.clone(),
+                        recorder,
+                    }),
+                )
             })
         }),
     };
+    let mut probe_cells = Vec::new();
     let mut text = String::new();
-    for (s, record) in results {
+    for ((s, cell), record) in results {
+        probe_cells.extend(cell);
         let _ = writeln!(
             text,
             "{:8} cycles={} ipc={:.2} mem={} lvaq={} fwd(lsq/lvaq)={}/{} rob_stall={} q_stall={} vp={}@{:.2} l1={:.3} l2m={}",
@@ -1049,5 +1198,65 @@ pub fn probe(opts: &ExperimentOptions, name: &str) -> ExperimentRun {
         );
         records.push(record);
     }
-    finish("probe", opts, records, text, start)
+    finish("probe", opts, records, text, start, probe_cells)
+}
+
+/// **Figure 8 companion**: stall attribution for every Figure 8 machine
+/// configuration, aggregated over the whole suite.
+///
+/// The run is always probed internally (the table needs the recorders);
+/// the `BENCH_figure8_stalls_probe.json` document still only appears when
+/// `ARL_PROBE` asks for it, like every other binary.
+pub fn figure8_stalls(opts: &ExperimentOptions) -> ExperimentRun {
+    let start = Instant::now();
+    let configs = MachineConfig::figure8_suite();
+    let (grouped, records, probe_cells) = timing_cells(&opts.with_probe(true), &configs);
+    debug_assert_eq!(probe_cells.len(), grouped.len() * configs.len());
+
+    // Fold the per-(workload × config) recorders into one recorder per
+    // config; cells are workload-major, configs in suite order.
+    let mut agg: Vec<Recorder> = vec![Recorder::new(); configs.len()];
+    for (i, cell) in probe_cells.iter().enumerate() {
+        agg[i % configs.len()].merge(&cell.recorder);
+    }
+    let base_cycles: u64 = grouped.iter().map(|row| row[0].cycles).sum();
+
+    let mut header: Vec<String> = vec!["Config".into(), "Cycles".into(), "Useful %".into()];
+    header.extend(StallCause::ALL.iter().map(|c| format!("{} %", c.label())));
+    header.push("Speedup".into());
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = TableBuilder::new(&header_refs);
+    for (config, rec) in configs.iter().zip(&agg) {
+        let total = rec.cycles().max(1) as f64;
+        let mut row = vec![
+            config.name.clone(),
+            rec.cycles().to_string(),
+            format!("{:.1}", 100.0 * rec.useful_cycles() as f64 / total),
+        ];
+        for cause in StallCause::ALL {
+            row.push(format!(
+                "{:.1}",
+                100.0 * rec.stall_cycles(cause) as f64 / total
+            ));
+        }
+        row.push(format!(
+            "{:.3}",
+            base_cycles as f64 / rec.cycles().max(1) as f64
+        ));
+        table.row(&row);
+    }
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "Figure 8 stall attribution: where commit-blocked cycles go, summed over the suite"
+    );
+    let _ = writeln!(text, "{}", table.render());
+    let _ = writeln!(
+        text,
+        "Columns: useful = at least one instruction committed; the eight stall\n\
+         categories attribute every remaining cycle to the reason the ROB head\n\
+         could not commit (they sum with useful to 100%). Speedup is summed\n\
+         suite cycles relative to the (2+0) baseline."
+    );
+    finish("figure8_stalls", opts, records, text, start, probe_cells)
 }

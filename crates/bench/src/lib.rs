@@ -14,16 +14,21 @@
 //!   once per experiment and the config sweep replays its `.arltrace`
 //!   capture (`ARL_TRACE=live` restores per-cell re-execution; outputs
 //!   are byte-identical either way).
-//! * [`Pool`] / [`experiments`] — every binary fans its (workload ×
-//!   config) cells across a scoped thread pool (`ARL_THREADS`; default all
-//!   cores) and folds results in cell order, so output is byte-identical
-//!   to a serial run.
+//! * [`Pool`] and the experiment entry points ([`figure8`], [`table1`],
+//!   ...) — every binary fans its (workload × config) cells across a
+//!   scoped thread pool (`ARL_THREADS`; default all cores) and folds
+//!   results in cell order, so output is byte-identical to a serial run.
 //! * [`SuiteReport`] — structured [`RunRecord`]s per cell (tagged with a
 //!   capture/replay/execute `phase`), written as `BENCH_<experiment>.json`
 //!   when `ARL_JSON` is set.
 //! * [`scale_from_env`] — every binary honours `ARL_SCALE` (an integer
 //!   iteration multiplier; `tiny` for smoke runs) so results can be
 //!   reproduced at larger scales without recompiling.
+//! * [`timing_trace_probed`] / [`figure8_stalls`] — the opt-in
+//!   cycle-level observability layer: `ARL_PROBE=1` attaches an
+//!   `arl-timing` `Recorder` to every timing cell and additionally writes
+//!   `BENCH_<experiment>_probe.json` (schema [`PROBE_SCHEMA`]) without
+//!   perturbing any table or record.
 //!
 //! Run, e.g.:
 //!
@@ -38,10 +43,13 @@ mod runner;
 
 pub use experiments::{
     ablation_l1size, ablation_lvc, ablation_ports, ablation_recovery, ablation_twobit, figure2,
-    figure4, figure5, figure8, probe, run_main, table1, table2, table3, table4, ExperimentOptions,
-    ExperimentRun, TraceMode,
+    figure4, figure5, figure8, figure8_stalls, probe, run_main, table1, table2, table3, table4,
+    ExperimentOptions, ExperimentRun, TraceMode,
 };
-pub use runner::{threads_from_value, timed_record, Pool, RunRecord, SuiteReport, JSON_SCHEMA};
+pub use runner::{
+    threads_from_value, timed_record, write_probe_json, Pool, RunRecord, SuiteReport, JSON_SCHEMA,
+    PROBE_SCHEMA,
+};
 
 use arl_asm::Program;
 use arl_core::{EvalConfig, Evaluator, HintTable, PredictionStats};
@@ -241,6 +249,25 @@ pub fn timing_trace(
         .unwrap_or_else(|e| panic!("workload {name} replay failed: {e}"))
 }
 
+/// [`timing_trace`] with an attached [`arl_timing::Recorder`] collecting
+/// the cycle-level observability histograms (`ARL_PROBE=1` cells). The
+/// returned `SimStats` are identical to the unprobed run.
+///
+/// # Panics
+///
+/// Panics if the trace does not replay cleanly against `program`.
+pub fn timing_trace_probed(
+    program: &Program,
+    trace: &Trace,
+    name: &str,
+    config: &arl_timing::MachineConfig,
+) -> (arl_timing::SimStats, arl_timing::Recorder) {
+    let mut replayer = Replayer::new(trace, program)
+        .unwrap_or_else(|e| panic!("workload {name} trace rejected: {e}"));
+    arl_timing::TimingSim::run_source_probed(&mut replayer, config, arl_timing::Recorder::new())
+        .unwrap_or_else(|e| panic!("workload {name} replay failed: {e}"))
+}
+
 /// Builds the paper's two hint sources for a profiled workload: the
 /// realizable Figure 6 compiler analysis and the profile-derived upper
 /// bound.
@@ -254,10 +281,32 @@ pub fn hint_sources(report: &ProfileReport) -> (HintTable, HintTable) {
 /// Reads the run scale from `ARL_SCALE` (`"tiny"`, or an integer
 /// multiplier; default 1).
 pub fn scale_from_env() -> Scale {
-    match std::env::var("ARL_SCALE") {
-        Ok(v) if v.eq_ignore_ascii_case("tiny") => Scale::tiny(),
-        Ok(v) => Scale::new(v.parse().unwrap_or(1)),
-        Err(_) => Scale::default(),
+    scale_from_value(std::env::var("ARL_SCALE").ok().as_deref())
+}
+
+/// Resolves a raw `ARL_SCALE` value: `"tiny"` selects the smoke scale, a
+/// positive integer is honoured (`0` is clamped to 1 with a warning), and
+/// anything unparsable warns and falls back to the default — mirroring the
+/// `ARL_THREADS` handling, so a typo never silently runs at the wrong
+/// scale.
+pub fn scale_from_value(value: Option<&str>) -> Scale {
+    let Some(v) = value else {
+        return Scale::default();
+    };
+    let trimmed = v.trim();
+    if trimmed.eq_ignore_ascii_case("tiny") {
+        return Scale::tiny();
+    }
+    match trimmed.parse::<u32>() {
+        Ok(0) => {
+            eprintln!("[arl-bench] clamping ARL_SCALE=0 to 1");
+            Scale::new(1)
+        }
+        Ok(n) => Scale::new(n),
+        Err(_) => {
+            eprintln!("[arl-bench] ignoring invalid ARL_SCALE={v:?}; using the default scale");
+            Scale::default()
+        }
     }
 }
 
@@ -302,5 +351,26 @@ mod tests {
     fn fmt_helpers() {
         assert_eq!(fmt_millions(1_234_567), "1.2M");
         assert_eq!(fmt_pct(0.99891, 2), "99.89%");
+    }
+
+    #[test]
+    fn scale_from_value_handles_edge_cases() {
+        // Explicit factors are honoured; zero clamps to 1 instead of
+        // producing a degenerate scale.
+        assert_eq!(scale_from_value(Some("4")).factor(), 4);
+        assert_eq!(scale_from_value(Some(" 2 ")).factor(), 2);
+        assert_eq!(scale_from_value(Some("0")).factor(), 1);
+        // The smoke scale survives, whatever the capitalization.
+        assert!(scale_from_value(Some("tiny")).is_tiny());
+        assert!(scale_from_value(Some("TINY")).is_tiny());
+        // Unset or invalid values fall back to the default scale — they
+        // must never be silently misread as factor 1.
+        let default = Scale::default();
+        assert_eq!(scale_from_value(None).factor(), default.factor());
+        for bad in ["", "lots", "-2", "1.5", "0x8"] {
+            let scale = scale_from_value(Some(bad));
+            assert_eq!(scale.factor(), default.factor(), "value {bad:?}");
+            assert_eq!(scale.is_tiny(), default.is_tiny(), "value {bad:?}");
+        }
     }
 }

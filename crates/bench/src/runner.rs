@@ -200,6 +200,33 @@ pub struct SuiteReport {
 /// wall-clock split for the execute-once/replay-many pipeline.
 pub const JSON_SCHEMA: &str = "arl-bench/v2";
 
+/// `BENCH_*_probe.json` schema identifier (the `ARL_PROBE=1` payload).
+pub const PROBE_SCHEMA: &str = "arl-probe/v1";
+
+/// Writes an `ARL_PROBE` document as `BENCH_<experiment>_probe.json`,
+/// steered by the same `ARL_JSON` convention as [`SuiteReport`]: into the
+/// directory when `ARL_JSON` names one, alongside the file when it names a
+/// file, and into the working directory when `ARL_JSON` is unset.
+pub fn write_probe_json(experiment: &str, doc: &Json) -> std::io::Result<PathBuf> {
+    let file_name = format!("BENCH_{experiment}_probe.json");
+    let file = match std::env::var_os("ARL_JSON") {
+        Some(raw) => {
+            let path = PathBuf::from(raw);
+            if path.is_dir() {
+                path.join(file_name)
+            } else {
+                match path.parent() {
+                    Some(dir) if !dir.as_os_str().is_empty() => dir.join(file_name),
+                    _ => PathBuf::from(file_name),
+                }
+            }
+        }
+        None => PathBuf::from(file_name),
+    };
+    std::fs::write(&file, doc.render() + "\n")?;
+    Ok(file)
+}
+
 impl SuiteReport {
     /// An empty report for `experiment` (records are appended by the
     /// experiment driver).

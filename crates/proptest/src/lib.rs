@@ -9,9 +9,11 @@
 //!
 //! Supported surface:
 //!
-//! * [`Strategy`] with [`Strategy::prop_map`], implemented for integer
+//! * [`Strategy`](strategy::Strategy) with
+//!   [`prop_map`](strategy::Strategy::prop_map), implemented for integer
 //!   ranges (`Range`/`RangeInclusive`), tuples of strategies (arity ≤ 6),
-//!   [`Just`], [`any`], and [`collection::vec`].
+//!   [`Just`](strategy::Just), [`any`](strategy::any), and
+//!   [`collection::vec`](collection::vec()).
 //! * [`proptest!`] blocks (with an optional
 //!   `#![proptest_config(ProptestConfig::with_cases(n))]` header),
 //!   [`prop_oneof!`] (plain and weighted arms), [`prop_assert!`],

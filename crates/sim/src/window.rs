@@ -30,21 +30,37 @@ pub struct WindowStats {
 
 impl WindowStats {
     /// Mean in-window accesses for `region`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`Region::Text`], which has no data-access statistics.
     pub fn mean(&self, region: Region) -> f64 {
         self.per_region[Self::index(region)].mean()
     }
 
     /// Standard deviation of in-window accesses for `region`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`Region::Text`], which has no data-access statistics.
     pub fn stddev(&self, region: Region) -> f64 {
         self.per_region[Self::index(region)].population_stddev()
     }
 
     /// The paper's "strictly bursty" predicate for `region`: mean < stddev.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`Region::Text`], which has no data-access statistics.
     pub fn is_strictly_bursty(&self, region: Region) -> bool {
         self.per_region[Self::index(region)].is_strictly_bursty()
     }
 
     /// The exact distribution of in-window counts for `region`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`Region::Text`], which has no data-access statistics.
     pub fn distribution(&self, region: Region) -> &Histogram {
         &self.distributions[Self::index(region)]
     }
@@ -60,13 +76,21 @@ impl WindowStats {
         }
     }
 
-    fn index(region: Region) -> usize {
+    /// Statistics slot for a data-access region; `None` for
+    /// [`Region::Text`], which can only appear in malformed entries.
+    fn data_index(region: Region) -> Option<usize> {
         match region {
-            Region::Data => 0,
-            Region::Heap => 1,
-            Region::Stack => 2,
-            Region::Text => panic!("text is not a data access region"),
+            Region::Data => Some(0),
+            Region::Heap => Some(1),
+            Region::Stack => Some(2),
+            Region::Text => None,
         }
+    }
+
+    /// Accessor-side index: callers name a region explicitly, so Text here
+    /// is API misuse, not malformed input.
+    fn index(region: Region) -> usize {
+        Self::data_index(region).expect("text is not a data access region")
     }
 }
 
@@ -102,11 +126,13 @@ impl WindowState {
     fn push(&mut self, marker: Option<Region>) {
         if self.ring.len() == self.size {
             if let Some(Some(old)) = self.ring.pop_front() {
-                self.counts[WindowStats::index(old)] -= 1;
+                if let Some(i) = WindowStats::data_index(old) {
+                    self.counts[i] -= 1;
+                }
             }
         }
-        if let Some(r) = marker {
-            self.counts[WindowStats::index(r)] += 1;
+        if let Some(i) = marker.and_then(WindowStats::data_index) {
+            self.counts[i] += 1;
         }
         self.ring.push_back(marker);
         if self.ring.len() == self.size {
@@ -141,7 +167,11 @@ impl SlidingWindowProfiler {
         }
     }
 
-    /// Feeds one trace entry.
+    /// Feeds one trace entry. A malformed entry whose data access
+    /// classifies as [`Region::Text`] is counted as a non-memory
+    /// instruction rather than aborting the run — trace replay already
+    /// rejects such entries as `SourceError::Corrupt` at the source, so
+    /// this profiler never needs to panic on them.
     pub fn observe(&mut self, entry: &TraceEntry) {
         let marker = entry.mem.map(|m| m.region);
         for w in &mut self.windows {
@@ -276,5 +306,20 @@ mod tests {
     #[should_panic(expected = "window sizes must be positive")]
     fn zero_window_rejected() {
         let _ = SlidingWindowProfiler::with_windows(&[0]);
+    }
+
+    #[test]
+    fn malformed_text_access_does_not_abort_profiling() {
+        // A data access classifying as Text is malformed input (the
+        // replayer rejects it as Corrupt); if one reaches the profiler it
+        // must degrade to "no access", not panic mid-sweep.
+        let mut p = SlidingWindowProfiler::with_windows(&[2]);
+        p.observe(&entry(Some(Region::Text)));
+        p.observe(&entry(Some(Region::Data)));
+        p.observe(&entry(Some(Region::Text)));
+        let s = &p.stats()[0];
+        assert_eq!(s.per_region[0].count(), 2, "two full windows sampled");
+        assert!((s.mean(Region::Data) - 1.0).abs() < 1e-12);
+        assert_eq!(s.mean(Region::Heap), 0.0);
     }
 }

@@ -1,0 +1,157 @@
+//! Exact integer-valued histograms with streaming summary statistics.
+
+use crate::{Json, Moments};
+
+/// A histogram over small non-negative integer observations (window access
+/// counts, per-cycle occupancies), retaining exact bin counts alongside
+/// streaming moments.
+#[derive(Clone, Default, Debug)]
+pub struct Histogram {
+    bins: Vec<u64>,
+    moments: Moments,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: usize) {
+        if value >= self.bins.len() {
+            self.bins.resize(value + 1, 0);
+        }
+        self.bins[value] += 1;
+        self.moments.push(value as f64);
+    }
+
+    /// Count in bin `value`.
+    pub fn count(&self, value: usize) -> u64 {
+        self.bins.get(value).copied().unwrap_or(0)
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.moments.count()
+    }
+
+    /// Streaming moments over the observations.
+    pub fn moments(&self) -> &Moments {
+        &self.moments
+    }
+
+    /// The largest value observed, or `None` when empty.
+    pub fn max_value(&self) -> Option<usize> {
+        if self.bins.is_empty() {
+            None
+        } else {
+            Some(self.bins.len() - 1)
+        }
+    }
+
+    /// Iterates `(value, count)` pairs for non-empty bins.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.bins
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(v, &c)| (v, c))
+    }
+
+    /// Folds another histogram into this one, bin by bin.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.bins.len() > self.bins.len() {
+            self.bins.resize(other.bins.len(), 0);
+        }
+        for (bin, &count) in self.bins.iter_mut().zip(&other.bins) {
+            *bin += count;
+        }
+        self.moments.merge(&other.moments);
+    }
+
+    /// Renders the histogram as a JSON object:
+    /// `{"total", "mean", "stddev", "max", "bins": [[value, count], ...]}`
+    /// with only non-empty bins listed.
+    pub fn to_json(&self) -> Json {
+        let bins: Vec<Json> = self
+            .iter()
+            .map(|(v, c)| Json::Arr(vec![v.into(), c.into()]))
+            .collect();
+        Json::obj([
+            ("total", Json::from(self.total())),
+            ("mean", Json::from(self.moments.mean())),
+            ("stddev", Json::from(self.moments.population_stddev())),
+            ("max", Json::from(self.max_value().unwrap_or(0))),
+            ("bins", Json::Arr(bins)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_counts_and_moments_agree() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 1, 3, 3, 3] {
+            h.record(v);
+        }
+        assert_eq!(h.count(0), 1);
+        assert_eq!(h.count(1), 2);
+        assert_eq!(h.count(2), 0);
+        assert_eq!(h.count(3), 3);
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.max_value(), Some(3));
+        assert!((h.moments().mean() - 11.0 / 6.0).abs() < 1e-12);
+        let pairs: Vec<(usize, u64)> = h.iter().collect();
+        assert_eq!(pairs, vec![(0, 1), (1, 2), (3, 3)]);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let mut whole = Histogram::new();
+        let mut left = Histogram::new();
+        let mut right = Histogram::new();
+        for (i, v) in [5, 0, 2, 2, 9, 1, 0, 4].into_iter().enumerate() {
+            whole.record(v);
+            if i < 3 {
+                left.record(v)
+            } else {
+                right.record(v)
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left.total(), whole.total());
+        assert_eq!(left.max_value(), whole.max_value());
+        let lhs: Vec<(usize, u64)> = left.iter().collect();
+        let rhs: Vec<(usize, u64)> = whole.iter().collect();
+        assert_eq!(lhs, rhs);
+        assert!((left.moments().mean() - whole.moments().mean()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let mut h = Histogram::new();
+        for v in [1, 1, 4] {
+            h.record(v);
+        }
+        let rendered = h.to_json().render();
+        let parsed = Json::parse(&rendered).unwrap();
+        assert_eq!(parsed.get("total").and_then(Json::as_u64), Some(3));
+        assert_eq!(parsed.get("max").and_then(Json::as_u64), Some(4));
+        let bins = parsed.get("bins").and_then(Json::as_array).unwrap();
+        assert_eq!(bins.len(), 2);
+        assert_eq!(bins[0].as_array().unwrap()[1].as_u64(), Some(2));
+    }
+
+    #[test]
+    fn empty_histogram_json() {
+        let h = Histogram::new();
+        let j = h.to_json();
+        assert_eq!(j.get("total").and_then(Json::as_u64), Some(0));
+        let bins = j.get("bins").and_then(Json::as_array).unwrap();
+        assert!(bins.is_empty());
+    }
+}

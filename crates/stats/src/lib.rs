@@ -22,11 +22,13 @@
 //! ```
 
 mod chart;
+mod histogram;
 mod json;
 mod moments;
 mod table;
 
 pub use chart::BarChart;
+pub use histogram::Histogram;
 pub use json::{Json, JsonError};
-pub use moments::{Histogram, Moments};
+pub use moments::Moments;
 pub use table::TableBuilder;

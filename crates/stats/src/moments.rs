@@ -1,4 +1,4 @@
-//! Streaming moments and histograms.
+//! Streaming moments.
 
 /// Streaming mean and variance via Welford's algorithm.
 ///
@@ -121,63 +121,6 @@ impl FromIterator<f64> for Moments {
     }
 }
 
-/// A histogram over small non-negative integer observations (window access
-/// counts), retaining exact bin counts alongside streaming moments.
-#[derive(Clone, Default, Debug)]
-pub struct Histogram {
-    bins: Vec<u64>,
-    moments: Moments,
-}
-
-impl Histogram {
-    /// Creates an empty histogram.
-    pub fn new() -> Histogram {
-        Histogram::default()
-    }
-
-    /// Records one observation.
-    pub fn record(&mut self, value: usize) {
-        if value >= self.bins.len() {
-            self.bins.resize(value + 1, 0);
-        }
-        self.bins[value] += 1;
-        self.moments.push(value as f64);
-    }
-
-    /// Count in bin `value`.
-    pub fn count(&self, value: usize) -> u64 {
-        self.bins.get(value).copied().unwrap_or(0)
-    }
-
-    /// Total observations.
-    pub fn total(&self) -> u64 {
-        self.moments.count()
-    }
-
-    /// Streaming moments over the observations.
-    pub fn moments(&self) -> &Moments {
-        &self.moments
-    }
-
-    /// The largest value observed, or `None` when empty.
-    pub fn max_value(&self) -> Option<usize> {
-        if self.bins.is_empty() {
-            None
-        } else {
-            Some(self.bins.len() - 1)
-        }
-    }
-
-    /// Iterates `(value, count)` pairs for non-empty bins.
-    pub fn iter(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
-        self.bins
-            .iter()
-            .enumerate()
-            .filter(|(_, &c)| c > 0)
-            .map(|(v, &c)| (v, c))
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,22 +168,5 @@ mod tests {
         // Constant stream → stddev 0 < mean.
         let steady: Moments = std::iter::repeat_n(5.0, 100).collect();
         assert!(!steady.is_strictly_bursty());
-    }
-
-    #[test]
-    fn histogram_counts_and_moments_agree() {
-        let mut h = Histogram::new();
-        for v in [0, 1, 1, 3, 3, 3] {
-            h.record(v);
-        }
-        assert_eq!(h.count(0), 1);
-        assert_eq!(h.count(1), 2);
-        assert_eq!(h.count(2), 0);
-        assert_eq!(h.count(3), 3);
-        assert_eq!(h.total(), 6);
-        assert_eq!(h.max_value(), Some(3));
-        assert!((h.moments().mean() - 11.0 / 6.0).abs() < 1e-12);
-        let pairs: Vec<(usize, u64)> = h.iter().collect();
-        assert_eq!(pairs, vec![(0, 1), (1, 2), (3, 3)]);
     }
 }

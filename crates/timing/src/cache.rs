@@ -133,6 +133,8 @@ struct BandwidthState {
     buffered_line: u64,
     /// Conflicts observed (denied access starts).
     conflicts: u64,
+    /// Accesses that claimed bandwidth this cycle (all port models).
+    claims_this_cycle: usize,
 }
 
 impl BandwidthState {
@@ -146,6 +148,7 @@ impl BandwidthState {
             buffer_used: false,
             buffered_line: u64::MAX,
             conflicts: 0,
+            claims_this_cycle: 0,
         }
     }
 
@@ -154,6 +157,7 @@ impl BandwidthState {
         self.banks_busy = 0;
         self.array_used = false;
         self.buffer_used = false;
+        self.claims_this_cycle = 0;
     }
 
     fn bank_of(&self, addr: u64) -> u64 {
@@ -181,6 +185,7 @@ impl BandwidthState {
 
     /// Claims the bandwidth for an access to `addr`.
     fn claim(&mut self, addr: u64) {
+        self.claims_this_cycle += 1;
         match self.model {
             PortModel::TruePorts(_) => self.used += 1,
             PortModel::Banked { .. } => self.banks_busy |= 1 << self.bank_of(addr),
@@ -211,6 +216,9 @@ pub struct MemSystem {
     /// Release cycles of in-flight misses per route.
     dcache_mshrs: Vec<u64>,
     lvc_mshrs: Vec<u64>,
+    /// LVC-routed accesses served by the data cache because the machine
+    /// has no LVC (dispatch steering on a conventional config).
+    steer_fallbacks: u64,
     now: u64,
 }
 
@@ -227,7 +235,17 @@ impl MemSystem {
             mshr_cap: config.mshrs,
             dcache_mshrs: Vec::new(),
             lvc_mshrs: Vec::new(),
+            steer_fallbacks: 0,
             now: 0,
+        }
+    }
+
+    /// The structure that actually serves `route`: [`Route::Lvc`] degrades
+    /// to the data cache on a machine without an LVC.
+    fn effective_route(&self, route: Route) -> Route {
+        match route {
+            Route::Lvc if self.lvc.is_none() => Route::DataCache,
+            r => r,
         }
     }
 
@@ -246,30 +264,58 @@ impl MemSystem {
 
     /// Whether an access to `addr` could start on `route` this cycle
     /// (bandwidth only; MSHR availability is checked at access time, since
-    /// it only matters for misses).
+    /// it only matters for misses). [`Route::Lvc`] on a machine without an
+    /// LVC is answered for the data cache, which serves such accesses.
     pub fn port_available(&self, route: Route, addr: u64) -> bool {
-        match route {
+        match self.effective_route(route) {
             Route::DataCache => self.dcache_bw.available(addr, self.dcache.config().ports),
-            Route::Lvc => match (&self.lvc, &self.lvc_bw) {
-                (Some(lvc), Some(bw)) => bw.available(addr, lvc.config().ports),
-                _ => false,
-            },
+            Route::Lvc => {
+                let lvc = self.lvc.as_ref().expect("effective route has an LVC");
+                let bw = self.lvc_bw.as_ref().expect("effective route has lvc bw");
+                bw.available(addr, lvc.config().ports)
+            }
         }
+    }
+
+    /// Whether an access to `addr` could be *rejected for lack of an MSHR*
+    /// this cycle: it would miss and every MSHR is occupied. Read-only (no
+    /// LRU update, no bandwidth claim) — used by the stall-attribution
+    /// probe.
+    pub fn mshr_would_block(&self, route: Route, addr: u64) -> bool {
+        let (cache, mshrs) = match self.effective_route(route) {
+            Route::DataCache => (&self.dcache, &self.dcache_mshrs),
+            Route::Lvc => (
+                self.lvc.as_ref().expect("effective route has an LVC"),
+                &self.lvc_mshrs,
+            ),
+        };
+        !cache.probe(addr) && mshrs.len() >= self.mshr_cap
     }
 
     /// Attempts the access; returns its total latency, or `None` if it
     /// would miss and no MSHR is free (the caller retries next cycle).
     ///
+    /// [`Route::Lvc`] on a machine without an LVC falls back to the data
+    /// cache (counted in [`Self::steer_fallbacks`]) — dispatch-stage
+    /// steering may legitimately pick the LVC route on a config that never
+    /// built one.
+    ///
     /// # Panics
     ///
     /// Panics if no bandwidth is available (callers must check
-    /// [`Self::port_available`] first) or if `route` is [`Route::Lvc`] on a
-    /// machine without one.
+    /// [`Self::port_available`] first).
     pub fn access(&mut self, route: Route, addr: u64) -> Option<u64> {
         assert!(
             self.port_available(route, addr),
             "no bandwidth on {route:?}"
         );
+        let route = match self.effective_route(route) {
+            Route::DataCache if route == Route::Lvc => {
+                self.steer_fallbacks += 1;
+                Route::DataCache
+            }
+            r => r,
+        };
         // MSHR pre-check: a miss needs a free slot.
         let (cache, mshrs) = match route {
             Route::DataCache => (&self.dcache, &self.dcache_mshrs),
@@ -338,6 +384,21 @@ impl MemSystem {
     /// MSHR exhaustion).
     pub fn dcache_conflicts(&self) -> u64 {
         self.dcache_bw.conflicts
+    }
+
+    /// LVC-routed accesses served by the data cache because no LVC exists.
+    pub fn steer_fallbacks(&self) -> u64 {
+        self.steer_fallbacks
+    }
+
+    /// Bandwidth claims made so far this cycle, as `(dcache, lvc)`; the LVC
+    /// count is 0 on a machine without one. Feeds the per-port utilization
+    /// histograms of the observability probe.
+    pub fn claims_this_cycle(&self) -> (usize, usize) {
+        (
+            self.dcache_bw.claims_this_cycle,
+            self.lvc_bw.as_ref().map_or(0, |bw| bw.claims_this_cycle),
+        )
     }
 }
 
@@ -431,10 +492,32 @@ mod tests {
         m.access(Route::DataCache, 0);
         m.access(Route::DataCache, 64);
         assert!(!m.port_available(Route::DataCache, 128));
+        // No LVC on a conventional machine: the LVC route degrades to the
+        // data cache, whose ports are exhausted this cycle...
+        assert!(!m.port_available(Route::Lvc, 0));
         m.new_cycle();
         assert!(m.port_available(Route::DataCache, 128));
-        // No LVC on a conventional machine.
-        assert!(!m.port_available(Route::Lvc, 0));
+        // ...and free again next cycle.
+        assert!(m.port_available(Route::Lvc, 0));
+    }
+
+    #[test]
+    fn lvc_route_without_lvc_falls_back_to_dcache() {
+        // Dispatch steering can pick Route::Lvc on a machine that never
+        // built an LVC; the access must be served by the data cache, not
+        // panic.
+        let config = MachineConfig::baseline_2_0();
+        let mut m = MemSystem::new(&config);
+        m.new_cycle();
+        let sp = 0x7fff_e000u64;
+        assert!(m.port_available(Route::Lvc, sp));
+        assert_eq!(m.access(Route::Lvc, sp), Some(2 + 12 + 50), "cold dcache");
+        m.new_cycle();
+        assert_eq!(m.access(Route::Lvc, sp), Some(2), "warm dcache hit");
+        assert_eq!(m.steer_fallbacks(), 2);
+        assert_eq!(m.dcache_stats().accesses(), 2);
+        assert!(m.lvc_stats().is_none());
+        assert!(!m.mshr_would_block(Route::Lvc, sp), "line is resident");
     }
 
     #[test]

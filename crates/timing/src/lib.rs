@@ -48,10 +48,12 @@ mod cache;
 mod config;
 mod metrics;
 mod pipeline;
+mod probe;
 mod valuepred;
 
 pub use cache::{Cache, CacheStats, MemSystem, Route};
 pub use config::{CacheConfig, MachineConfig, PortModel, RecoveryMode};
 pub use metrics::SimStats;
 pub use pipeline::TimingSim;
+pub use probe::{CycleObs, NullProbe, Probe, Recorder, StallCause};
 pub use valuepred::StridePredictor;

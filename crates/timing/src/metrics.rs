@@ -27,6 +27,9 @@ pub struct SimStats {
     pub rob_stall_cycles: u64,
     /// Cycles dispatch stalled because a memory queue was full.
     pub queue_stall_cycles: u64,
+    /// LVC-routed accesses served by the data cache because the machine
+    /// has no LVC (dispatch steering on a conventional config).
+    pub steer_fallbacks: u64,
     /// Confident value predictions.
     pub value_predictions: u64,
     /// Correct confident value predictions.

@@ -17,6 +17,7 @@ use arl_sim::{EntrySliceSource, Machine, SourceError, TraceEntry, TraceSource};
 use crate::cache::{MemSystem, Route};
 use crate::config::{MachineConfig, RecoveryMode};
 use crate::metrics::SimStats;
+use crate::probe::{CycleObs, NullProbe, Probe, StallCause};
 use crate::valuepred::StridePredictor;
 
 /// Functional-unit classes (Table 4: 16 int ALUs, 16 FP ALUs, 4 int
@@ -103,7 +104,14 @@ struct Slot {
 /// The timing simulator. Construct via [`TimingSim::run_program`] (the
 /// usual entry point) or drive [`TimingSim::run_trace`] with a
 /// pre-collected trace.
-pub struct TimingSim {
+///
+/// The simulator is monomorphized over its [`Probe`]: the default
+/// [`NullProbe`] has `ENABLED == false`, so every observation-gathering
+/// expression is statically dead and the un-instrumented pipeline compiles
+/// to exactly the code it had before the probe layer existed. The
+/// `*_probed` entry points thread any other probe (usually a
+/// [`crate::Recorder`]) through the run and hand it back with the stats.
+pub struct TimingSim<P: Probe = NullProbe> {
     config: MachineConfig,
     mem: MemSystem,
     arpt: Arpt,
@@ -127,10 +135,45 @@ pub struct TimingSim {
     fu_used: [usize; 4],
     /// Committed stores awaiting their background cache write.
     write_buffer: VecDeque<(Route, u64)>,
+    probe: P,
 }
 
 impl TimingSim {
-    fn new(config: &MachineConfig) -> TimingSim {
+    /// Runs a linked program end-to-end on this machine model and returns
+    /// the statistics. The functional simulator supplies the (perfect
+    /// front end) instruction stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program fails functionally — workloads are
+    /// deterministic, so that is a harness bug, not a timing condition.
+    pub fn run_program(program: &Program, config: &MachineConfig) -> SimStats {
+        TimingSim::run_program_probed(program, config, NullProbe).0
+    }
+
+    /// Runs any [`TraceSource`] — a live [`Machine`] or a trace replayer —
+    /// through this machine model. The cycle-level behavior depends only on
+    /// the entry stream, so a faithful replayer produces statistics
+    /// bit-identical to live execution.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`SourceError`] from the source.
+    pub fn run_source<S: TraceSource>(
+        source: &mut S,
+        config: &MachineConfig,
+    ) -> Result<SimStats, SourceError> {
+        TimingSim::run_source_probed(source, config, NullProbe).map(|(stats, _)| stats)
+    }
+
+    /// Runs a pre-collected trace slice (useful for tests).
+    pub fn run_trace(entries: &[TraceEntry], config: &MachineConfig) -> SimStats {
+        TimingSim::run_trace_probed(entries, config, NullProbe).0
+    }
+}
+
+impl<P: Probe> TimingSim<P> {
+    fn new(config: &MachineConfig, probe: P) -> TimingSim<P> {
         TimingSim {
             mem: MemSystem::new(config),
             arpt: Arpt::new(
@@ -156,42 +199,55 @@ impl TimingSim {
             fu_used: [0; 4],
             write_buffer: VecDeque::new(),
             config: config.clone(),
+            probe,
         }
     }
 
-    /// Runs a linked program end-to-end on this machine model and returns
-    /// the statistics. The functional simulator supplies the (perfect
-    /// front end) instruction stream.
+    /// [`TimingSim::run_program`] with an attached probe; returns the probe
+    /// alongside the statistics.
     ///
     /// # Panics
     ///
     /// Panics if the program fails functionally — workloads are
     /// deterministic, so that is a harness bug, not a timing condition.
-    pub fn run_program(program: &Program, config: &MachineConfig) -> SimStats {
+    pub fn run_program_probed(
+        program: &Program,
+        config: &MachineConfig,
+        probe: P,
+    ) -> (SimStats, P) {
         let mut machine = Machine::new(program);
-        TimingSim::run_source(&mut machine, config).expect("functional execution")
+        TimingSim::run_source_probed(&mut machine, config, probe).expect("functional execution")
     }
 
-    /// Runs any [`TraceSource`] — a live [`Machine`] or a trace replayer —
-    /// through this machine model. The cycle-level behavior depends only on
-    /// the entry stream, so a faithful replayer produces statistics
-    /// bit-identical to live execution.
+    /// [`TimingSim::run_source`] with an attached probe: the probe observes
+    /// every simulated cycle and is returned alongside the statistics. The
+    /// probe is pure observation — `SimStats` are identical with any probe
+    /// attached.
     ///
     /// # Errors
     ///
     /// Propagates the first [`SourceError`] from the source.
-    pub fn run_source<S: TraceSource>(
+    pub fn run_source_probed<S: TraceSource>(
         source: &mut S,
         config: &MachineConfig,
-    ) -> Result<SimStats, SourceError> {
-        let mut sim = TimingSim::new(config);
+        probe: P,
+    ) -> Result<(SimStats, P), SourceError> {
+        let mut sim = TimingSim::new(config, probe);
         let mut pending: Option<TraceEntry> = None;
         let mut exhausted = false;
         loop {
             sim.begin_cycle();
-            sim.commit_stage();
+            let committed = sim.commit_stage();
             sim.memory_stage();
-            sim.issue_stage();
+            // Attribute the stall after the memory stage so port/MSHR
+            // denials reflect this cycle's actual bandwidth claims, but
+            // before issue mutates the head's issued state.
+            let stall = if P::ENABLED && committed == 0 {
+                Some(sim.stall_cause())
+            } else {
+                None
+            };
+            let issued = sim.issue_stage();
             // Dispatch stage: pull from the source.
             let mut dispatched = 0;
             while dispatched < sim.config.issue_width {
@@ -212,6 +268,19 @@ impl TimingSim {
                     break;
                 }
             }
+            if P::ENABLED {
+                let (dcache_claims, lvc_claims) = sim.mem.claims_this_cycle();
+                sim.probe.record(&CycleObs {
+                    rob_occupancy: sim.rob.len(),
+                    issued,
+                    committed,
+                    lsq_depth: sim.lsq_count,
+                    lvaq_depth: sim.lvaq_count,
+                    dcache_claims,
+                    lvc_claims,
+                    stall,
+                });
+            }
             if exhausted && pending.is_none() && sim.rob.is_empty() && sim.write_buffer.is_empty() {
                 break;
             }
@@ -220,28 +289,33 @@ impl TimingSim {
                 "timing simulation is not making progress"
             );
         }
-        let mut stats = sim.finish();
+        let (mut stats, probe) = sim.finish();
         stats.peak_rss_bytes = source.metrics().peak_rss_bytes;
-        Ok(stats)
+        Ok((stats, probe))
     }
 
-    /// Runs a pre-collected trace slice (useful for tests).
-    pub fn run_trace(entries: &[TraceEntry], config: &MachineConfig) -> SimStats {
+    /// [`TimingSim::run_trace`] with an attached probe (useful for tests).
+    pub fn run_trace_probed(
+        entries: &[TraceEntry],
+        config: &MachineConfig,
+        probe: P,
+    ) -> (SimStats, P) {
         let mut source = EntrySliceSource::new(entries);
-        TimingSim::run_source(&mut source, config).expect("slice sources cannot fail")
+        TimingSim::run_source_probed(&mut source, config, probe).expect("slice sources cannot fail")
     }
 
-    fn finish(mut self) -> SimStats {
+    fn finish(mut self) -> (SimStats, P) {
         self.stats.cycles = self.cycle;
         self.stats.dcache = self.mem.dcache_stats();
         self.stats.lvc = self.mem.lvc_stats();
         self.stats.l2 = self.mem.l2_stats();
+        self.stats.steer_fallbacks = self.mem.steer_fallbacks();
         if let Some(vp) = &self.vpred {
             self.stats.value_predictions = vp.predictions();
             self.stats.value_pred_correct =
                 (vp.accuracy() * vp.predictions() as f64).round() as u64;
         }
-        self.stats
+        (self.stats, self.probe)
     }
 
     fn begin_cycle(&mut self) {
@@ -433,7 +507,7 @@ impl TimingSim {
 
     // ---- issue ------------------------------------------------------------
 
-    fn issue_stage(&mut self) {
+    fn issue_stage(&mut self) -> usize {
         let mut issued = 0;
         let width = self.config.issue_width;
         let mut i = 0;
@@ -469,6 +543,7 @@ impl TimingSim {
             }
             i += 1;
         }
+        issued
     }
 
     // ---- memory stage -------------------------------------------------------
@@ -718,7 +793,7 @@ impl TimingSim {
 
     // ---- commit -------------------------------------------------------------
 
-    fn commit_stage(&mut self) {
+    fn commit_stage(&mut self) -> usize {
         let mut committed = 0;
         while committed < self.config.issue_width {
             let Some(head) = self.rob.front() else { break };
@@ -780,5 +855,93 @@ impl TimingSim {
             self.head_seq += 1;
             committed += 1;
         }
+        committed
+    }
+
+    // ---- stall attribution (probe support) ----------------------------------
+
+    /// Attributes a commit-blocked cycle to exactly one [`StallCause`] by
+    /// inspecting the ROB head — the unique instruction every later commit
+    /// waits on. Called after [`Self::memory_stage`] (so bandwidth denials
+    /// reflect this cycle's claims) and before [`Self::issue_stage`];
+    /// purely observational.
+    fn stall_cause(&self) -> StallCause {
+        let Some(head) = self.rob.front() else {
+            // Nothing in flight at all: the source ran dry (end of program
+            // drain, or the first cycle before anything dispatched).
+            return StallCause::FetchDry;
+        };
+        match head.mem {
+            MemPhase::None | MemPhase::WaitAgen => {
+                if head.issued {
+                    // Result (or address generation) still in the FU
+                    // pipeline.
+                    StallCause::ExecLatency
+                } else if self.rob.len() >= self.config.rob_size {
+                    StallCause::RobFull
+                } else {
+                    // The head's deps are committed by construction, so an
+                    // unissued head lost FU arbitration (or just
+                    // dispatched).
+                    StallCause::FuFull
+                }
+            }
+            MemPhase::Accessed => StallCause::MemLatency,
+            MemPhase::Ready => {
+                if head.mem_ready_at > self.cycle {
+                    // Serving the region-misprediction redirect penalty.
+                    StallCause::ArptRedirect
+                } else if head.is_load {
+                    self.load_block_cause(head)
+                } else if head.complete_at != NO_CYCLE && head.complete_at <= self.cycle {
+                    // Store is done but commit_stage broke on it: the write
+                    // buffer is full and the cache denied the write (port
+                    // or MSHR).
+                    StallCause::MemPort
+                } else {
+                    // Store waiting for its data operand.
+                    StallCause::StoreOrdering
+                }
+            }
+        }
+    }
+
+    /// Why a Ready head load has not started its access: mirrors the
+    /// checks of [`Self::try_start_load`] read-only, in the same order.
+    fn load_block_cause(&self, head: &Slot) -> StallCause {
+        let block = head.addr & !7;
+        let stores = match head.route {
+            Route::Lvc => &self.lvaq_stores,
+            Route::DataCache => &self.lsq_stores,
+        };
+        let mut forwards = false;
+        for &st_seq in stores.iter() {
+            if st_seq >= head.seq {
+                break;
+            }
+            let st = self.slot(st_seq);
+            let addr_known = st.agen_done_at != NO_CYCLE && st.agen_done_at <= self.cycle;
+            let data_ready = st.complete_at != NO_CYCLE && st.complete_at <= self.cycle;
+            if head.route == Route::DataCache && !addr_known {
+                return StallCause::StoreOrdering;
+            }
+            if st.addr & !7 == block {
+                if !data_ready {
+                    return StallCause::StoreOrdering;
+                }
+                forwards = true;
+            }
+        }
+        if forwards {
+            // Forwarding needs no port; the load completes next cycle.
+            return StallCause::MemLatency;
+        }
+        if !self.mem.port_available(head.route, head.addr)
+            || self.mem.mshr_would_block(head.route, head.addr)
+        {
+            return StallCause::MemPort;
+        }
+        // The access starts this cycle; what remains is pure latency.
+        StallCause::MemLatency
     }
 }

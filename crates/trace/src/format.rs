@@ -365,6 +365,16 @@ impl Trace {
         let mut state = DeltaState::new(self.entry_pc());
         let mut pos = 0;
         let count = self.event_count();
+        // The count is a footer field under the container checksum, but a
+        // re-sealed forgery could still carry an absurd value; every event
+        // costs at least one body byte, so bound the decode loop (and the
+        // preallocation) by the payload actually present.
+        if count > body.len() as u64 {
+            return Err(SourceError::Corrupt(format!(
+                "event count {count} exceeds the {}-byte body",
+                body.len()
+            )));
+        }
         let mut events = Vec::with_capacity(count.min(1 << 20) as usize);
         for i in 0..count {
             let event = decode_event(body, &mut pos, &mut state)

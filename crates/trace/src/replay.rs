@@ -77,6 +77,15 @@ impl<'a> Replayer<'a> {
                 program.entry_pc()
             )));
         }
+        // Every event costs at least one body byte; a count beyond that is
+        // a forged footer, however plausible the checksum looks.
+        let count = trace.event_count();
+        if count > trace.body().len() as u64 {
+            return Err(SourceError::Corrupt(format!(
+                "event count {count} exceeds the {}-byte body",
+                trace.body().len()
+            )));
+        }
         Ok(Replayer {
             program,
             layout: *program.layout(),
@@ -110,12 +119,25 @@ impl TraceSource for Replayer<'_> {
         // a mismatch means the trace was captured from a different build
         // of the program.
         let mem = match (inst.mem_op(), event.mem_addr) {
-            (Some(info), Some(addr)) => Some(MemAccess {
-                addr,
-                width: info.width,
-                is_load: info.is_load,
-                region: self.layout.classify(addr),
-            }),
+            (Some(info), Some(addr)) => {
+                let region = self.layout.classify(addr);
+                // Data accesses never target the text segment; a decoded
+                // address landing there means the trace body is corrupt.
+                // Reject here so downstream profilers see only well-formed
+                // entries instead of aborting a sweep mid-run.
+                if region == arl_mem::Region::Text {
+                    return Err(SourceError::Corrupt(format!(
+                        "data access at pc {:#x} decodes to text address {addr:#x}",
+                        event.pc
+                    )));
+                }
+                Some(MemAccess {
+                    addr,
+                    width: info.width,
+                    is_load: info.is_load,
+                    region,
+                })
+            }
             (None, None) => None,
             _ => {
                 return Err(SourceError::Corrupt(format!(

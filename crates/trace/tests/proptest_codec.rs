@@ -1,12 +1,13 @@
 //! Property tests for the delta+varint trace codec: encode→decode
-//! round-trips on arbitrary event sequences, and checksum rejection of
-//! single-byte corruption anywhere in the container.
+//! round-trips on arbitrary event sequences, checksum rejection of
+//! single-byte corruption anywhere in the container, and early rejection
+//! of forged (checksum-re-sealed) footer fields.
 
 #![cfg(feature = "proptest-tests")]
 
 use arl_mem::PAGE_SIZE;
 use arl_sim::Metrics;
-use arl_trace::{Trace, TraceEvent};
+use arl_trace::{fnv1a64, Trace, TraceEvent};
 use proptest::collection::vec;
 use proptest::prelude::*;
 
@@ -100,5 +101,36 @@ proptest! {
         let bytes = trace.into_bytes();
         let keep = bytes.len().saturating_sub(cut);
         prop_assert!(Trace::from_bytes(bytes[..keep].to_vec()).is_err());
+    }
+
+    /// An attacker (or bit rot plus coincidence) can rewrite a footer
+    /// field *and* re-seal the container checksum. The checksum then
+    /// validates, so `from_bytes` accepts the container — but a forged
+    /// event count must still be rejected before it can drive a huge
+    /// decode loop: every event costs at least one body byte.
+    #[test]
+    fn forged_event_count_is_rejected_early(
+        entry_pc in any::<u64>(),
+        evs in events(),
+        excess in 1u64..1 << 40,
+    ) {
+        let trace = Trace::from_events(entry_pc, &evs, &Metrics::default());
+        let mut bytes = trace.into_bytes();
+        // Container layout: 13-byte header, body, 25-byte footer (leading
+        // with the u64 LE event count), 8-byte checksum.
+        let body_len = bytes.len() - 13 - 33;
+        let footer = bytes.len() - 33;
+        let forged = body_len as u64 + excess;
+        bytes[footer..footer + 8].copy_from_slice(&forged.to_le_bytes());
+        let seal_at = bytes.len() - 8;
+        let checksum = fnv1a64(&bytes[..seal_at]);
+        bytes[seal_at..].copy_from_slice(&checksum.to_le_bytes());
+
+        // The container checksum is consistent, so adoption succeeds...
+        let reparsed = Trace::from_bytes(bytes).expect("re-sealed container validates");
+        prop_assert_eq!(reparsed.event_count(), forged);
+        // ...but decoding must reject the count up front instead of
+        // looping `forged` times.
+        prop_assert!(reparsed.events().is_err());
     }
 }

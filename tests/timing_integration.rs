@@ -123,6 +123,78 @@ fn slower_l1_rarely_helps() {
 }
 
 #[test]
+fn probing_never_perturbs_experiment_output() {
+    // The observability layer is opt-in and monomorphized away when off;
+    // with it on, rendered tables and structured records must stay
+    // byte-identical — the recorder watches the pipeline, never steers it.
+    use arl::workloads::Scale;
+    use arl_bench::{probe, ExperimentOptions};
+    let base = ExperimentOptions::new(Scale::tiny(), 1);
+    let plain = probe(&base, "compress");
+    let probed = probe(&base.with_probe(true), "compress");
+    assert_eq!(plain.text, probed.text, "rendered output diverged");
+    // Host wall-clock is the one legitimately nondeterministic field.
+    let strip_clock = |run: &arl_bench::ExperimentRun| {
+        run.report
+            .records
+            .iter()
+            .cloned()
+            .map(|mut r| {
+                r.wall_seconds = 0.0;
+                r
+            })
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(
+        strip_clock(&plain),
+        strip_clock(&probed),
+        "structured records diverged"
+    );
+    assert!(
+        plain.probe.is_none(),
+        "unprobed run emitted a probe document"
+    );
+    let doc = probed.probe.expect("probed run carries its document");
+    let cells = doc.get("cells").unwrap().as_array().unwrap();
+    assert_eq!(cells.len(), 3, "one probe cell per machine configuration");
+}
+
+#[test]
+fn stall_attribution_accounts_for_every_cycle() {
+    // Conservation identity: each cycle is either useful (something
+    // committed) or attributed to exactly one stall cause — so the
+    // recorder's tallies must reproduce the cycle count of the stats it
+    // rode along with, on every (workload × config) cell.
+    use arl::timing::{Recorder, StallCause};
+    for name in ["vortex", "swim"] {
+        let program = workload(name).unwrap().build(Scale::tiny());
+        for config in MachineConfig::figure8_suite() {
+            let (stats, rec) = TimingSim::run_program_probed(&program, &config, Recorder::new());
+            assert_eq!(
+                rec.cycles(),
+                stats.cycles,
+                "{name} on {}: recorder saw every cycle",
+                config.name
+            );
+            let attributed: u64 = StallCause::ALL.iter().map(|&c| rec.stall_cycles(c)).sum();
+            assert_eq!(attributed, rec.total_stall_cycles());
+            assert_eq!(
+                rec.useful_cycles() + attributed,
+                stats.cycles,
+                "{name} on {}: useful + attributed covers the run",
+                config.name
+            );
+            assert_eq!(
+                rec.commit_util().moments().count(),
+                stats.cycles,
+                "{name} on {}: one histogram sample per cycle",
+                config.name
+            );
+        }
+    }
+}
+
+#[test]
 fn misprediction_penalty_costs_cycles() {
     // Raising the region-misprediction penalty can never make a workload
     // with mispredictions faster.
