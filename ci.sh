@@ -27,4 +27,26 @@ ARL_SCALE=1 ARL_PROBE=1 ARL_JSON="$smoke_dir" \
 test -s "$smoke_dir/BENCH_figure8_stalls.json"
 test -s "$smoke_dir/BENCH_figure8_stalls_probe.json"
 
+echo "==> fault-campaign smoke gate (ARL_SCALE=tiny, fixed seed)"
+# Fixed seed, every layer: the campaign must classify every fault and
+# must never observe a silent corruption or a fatal (uncaught) fault.
+mkdir -p "$smoke_dir/full" "$smoke_dir/first" "$smoke_dir/resumed"
+ARL_SCALE=tiny ARL_FAULT=all:42:2 ARL_JSON="$smoke_dir/full" \
+    cargo run --quiet --release -p arl-bench --bin fault_campaign
+test -s "$smoke_dir/full/BENCH_faults.json"
+grep -q '"fault_silent":0' "$smoke_dir/full/BENCH_faults.json"
+grep -q '"fault_fatal":0' "$smoke_dir/full/BENCH_faults.json"
+
+echo "==> fault-campaign kill-resume gate"
+# "Interrupt" after the first job (ARL_MAX_JOBS=1 against a checkpoint),
+# then resume the full sweep: the merged JSON must be byte-identical to
+# the uninterrupted run above.
+ARL_SCALE=tiny ARL_FAULT=all:42:2 ARL_MAX_JOBS=1 \
+    ARL_CHECKPOINT="$smoke_dir/campaign.ckpt" ARL_JSON="$smoke_dir/first" \
+    cargo run --quiet --release -p arl-bench --bin fault_campaign > /dev/null
+ARL_SCALE=tiny ARL_FAULT=all:42:2 \
+    ARL_CHECKPOINT="$smoke_dir/campaign.ckpt" ARL_JSON="$smoke_dir/resumed" \
+    cargo run --quiet --release -p arl-bench --bin fault_campaign > /dev/null
+diff "$smoke_dir/full/BENCH_faults.json" "$smoke_dir/resumed/BENCH_faults.json"
+
 echo "CI OK"

@@ -1,0 +1,9 @@
+//! Seeded fault-injection campaign: corrupts traces, flips ARPT state,
+//! and degrades memory ports per `ARL_FAULT`, classifying every outcome
+//! as masked/detected/recovered/fatal/silent. Exits non-zero on any
+//! fatal or silent fault (silent corruptions are the failure the
+//! campaign exists to rule out) or any failed job.
+
+fn main() {
+    arl_bench::run_faults_main();
+}

@@ -21,7 +21,9 @@ use arl_timing::{
 use arl_trace::Trace;
 use arl_workloads::{suite, workload, Scale, WorkloadSpec};
 
-use crate::runner::{timed_record, write_probe_json, Pool, RunRecord, SuiteReport, PROBE_SCHEMA};
+use crate::runner::{
+    timed_record, write_probe_json, Pool, RunRecord, SuiteFailures, SuiteReport, PROBE_SCHEMA,
+};
 use crate::{
     capture_trace, capture_trace_with, evaluate_program, evaluate_trace, fmt_millions, fmt_pct,
     profile_workload, scale_from_env, timing_trace, timing_trace_probed, EvalReport, ProfileReport,
@@ -147,9 +149,29 @@ pub struct ExperimentRun {
 /// Runs an experiment with env-derived options, prints its text, and
 /// honours `ARL_JSON` and `ARL_PROBE`. The shared `main` of every bench
 /// binary.
+///
+/// Failed jobs never abort the suite silently: a [`SuiteFailures`] panic
+/// from the pool (every surviving cell already ran) and any error records
+/// the experiment collected itself both end in a one-line-per-job stderr
+/// summary and a non-zero exit.
 pub fn run_main(experiment: impl FnOnce(&ExperimentOptions) -> ExperimentRun) {
     let opts = ExperimentOptions::from_env();
-    let run = experiment(&opts);
+    let run = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| experiment(&opts))) {
+        Ok(run) => run,
+        Err(payload) => match payload.downcast::<SuiteFailures>() {
+            Ok(failures) => {
+                for failure in &failures.0 {
+                    eprintln!("[arl-bench] {}", failure.summary());
+                }
+                eprintln!(
+                    "[arl-bench] {} job(s) failed; no output written",
+                    failures.0.len()
+                );
+                std::process::exit(1);
+            }
+            Err(payload) => std::panic::resume_unwind(payload),
+        },
+    };
     print!("{}", run.text);
     match run.report.emit_from_env() {
         Ok(Some(path)) => eprintln!("[arl-bench] wrote {}", path.display()),
@@ -167,6 +189,16 @@ pub fn run_main(experiment: impl FnOnce(&ExperimentOptions) -> ExperimentRun) {
                 std::process::exit(1);
             }
         }
+    }
+    if !run.report.errors.is_empty() {
+        for failure in &run.report.errors {
+            eprintln!("[arl-bench] {}", failure.summary());
+        }
+        eprintln!(
+            "[arl-bench] {} job(s) failed; see the errors array in the JSON output",
+            run.report.errors.len()
+        );
+        std::process::exit(1);
     }
 }
 

@@ -39,7 +39,13 @@
 //! ```
 
 mod experiments;
+mod faults;
 mod runner;
+
+pub use faults::{
+    fault_campaign_pooled, fault_campaign_with, max_jobs_from_value, run_faults_main,
+    FaultCampaignRun, FAULTS_SCHEMA,
+};
 
 pub use experiments::{
     ablation_l1size, ablation_lvc, ablation_ports, ablation_recovery, ablation_twobit, figure2,
@@ -47,7 +53,8 @@ pub use experiments::{
     ExperimentOptions, ExperimentRun, TraceMode,
 };
 pub use runner::{
-    threads_from_value, timed_record, write_probe_json, Pool, RunRecord, SuiteReport, JSON_SCHEMA,
+    deadline_from_value, retries_from_value, threads_from_value, timed_record, write_probe_json,
+    Checkpoint, FailureKind, JobFailure, Pool, RunRecord, SuiteFailures, SuiteReport, JSON_SCHEMA,
     PROBE_SCHEMA,
 };
 

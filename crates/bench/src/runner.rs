@@ -8,13 +8,113 @@
 //! JSON (`arl-stats`' hand-rolled [`Json`]) and, when `ARL_JSON` is set,
 //! writes a `BENCH_<experiment>.json` trajectory file.
 
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-use std::time::Instant;
+use std::sync::{Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 use arl_stats::Json;
 use arl_workloads::Scale;
+
+/// Locks a mutex even when a previous holder panicked: a worker panic
+/// must never cascade into `PoisonError` panics on the threads that are
+/// still making progress. Every datum behind these locks is written in
+/// one assignment, so a poisoned value is never half-updated.
+fn relock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Renders a caught panic payload (the `&str`/`String` the job panicked
+/// with, or a placeholder for exotic payloads).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Why a supervised job failed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FailureKind {
+    /// The job panicked (caught; the suite kept running).
+    Panic,
+    /// The job finished after its deadline; the late result was discarded.
+    /// Worker threads are scoped and cannot be killed mid-cell, so the
+    /// watchdog is post-hoc: a stuck job still blocks its worker, but a
+    /// merely-slow one is reported instead of silently accepted.
+    Timeout,
+}
+
+impl FailureKind {
+    /// Stable lowercase label (JSON, stderr summaries).
+    pub fn label(self) -> &'static str {
+        match self {
+            FailureKind::Panic => "panic",
+            FailureKind::Timeout => "timeout",
+        }
+    }
+}
+
+/// One supervised job's terminal failure, after retries were exhausted.
+#[derive(Clone, PartialEq, Debug)]
+pub struct JobFailure {
+    /// Cell index in the input order.
+    pub index: usize,
+    /// What went wrong on the last attempt.
+    pub kind: FailureKind,
+    /// The panic message or deadline description.
+    pub message: String,
+    /// Attempts made (1 = no retries).
+    pub attempts: u32,
+}
+
+impl JobFailure {
+    /// The `errors` array element for `BENCH_*.json` documents.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("index", Json::from(self.index)),
+            ("kind", Json::from(self.kind.label())),
+            ("message", Json::from(self.message.as_str())),
+            ("attempts", Json::from(u64::from(self.attempts))),
+        ])
+    }
+
+    /// One-line stderr summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "job {} failed ({}, {} attempt{}): {}",
+            self.index,
+            self.kind.label(),
+            self.attempts,
+            if self.attempts == 1 { "" } else { "s" },
+            self.message
+        )
+    }
+}
+
+/// The panic payload [`Pool::map`] raises after **every** job has run
+/// when at least one of them panicked: the completed cells are not lost
+/// to the first failure, and `run_main` turns this into per-job stderr
+/// lines plus a non-zero exit instead of a raw panic trace.
+pub struct SuiteFailures(pub Vec<JobFailure>);
+
+impl std::fmt::Debug for SuiteFailures {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{} job(s) failed:", self.0.len())?;
+        for failure in &self.0 {
+            writeln!(f, "  {}", failure.summary())?;
+        }
+        Ok(())
+    }
+}
 
 /// A fixed-width pool of scoped worker threads.
 ///
@@ -23,19 +123,31 @@ use arl_workloads::Scale;
 /// indexed by cell, so the fold order never depends on scheduling. Cells
 /// must be deterministic functions of their input and index; all of this
 /// crate's cells are (the simulators take no seeds and share no state).
+///
+/// Jobs run supervised: a panicking cell is caught, the remaining cells
+/// complete, and the failure surfaces either as a [`SuiteFailures`] panic
+/// ([`Pool::map`]) or as per-job `Err` records ([`Pool::try_map`], which
+/// additionally enforces the deadline and retry policy).
 pub struct Pool {
     threads: usize,
+    deadline: Option<Duration>,
+    retries: u32,
 }
 
 impl Pool {
-    /// A pool with an explicit worker count (`0` is clamped to 1).
+    /// A pool with an explicit worker count (`0` is clamped to 1), no
+    /// deadline, and no retries.
     pub fn new(threads: usize) -> Pool {
         Pool {
             threads: threads.max(1),
+            deadline: None,
+            retries: 0,
         }
     }
 
-    /// Reads `ARL_THREADS`; defaults to all available cores.
+    /// Reads `ARL_THREADS` (defaults to all available cores),
+    /// `ARL_DEADLINE` (per-job deadline in seconds; unset = none), and
+    /// `ARL_RETRIES` (bounded retry count for supervised jobs; default 0).
     /// `ARL_THREADS=1` reproduces the serial harness exactly; invalid
     /// values fall back to the default (the output never depends on the
     /// worker count, so a fallback is always safe).
@@ -47,6 +159,24 @@ impl Pool {
             }
         }
         Pool::new(threads_from_value(value.as_deref()))
+            .with_deadline(deadline_from_value(
+                std::env::var("ARL_DEADLINE").ok().as_deref(),
+            ))
+            .with_retries(retries_from_value(
+                std::env::var("ARL_RETRIES").ok().as_deref(),
+            ))
+    }
+
+    /// Sets the per-job deadline for [`Pool::try_map`] jobs.
+    pub fn with_deadline(mut self, deadline: Option<Duration>) -> Pool {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Sets the bounded retry count for [`Pool::try_map`] jobs.
+    pub fn with_retries(mut self, retries: u32) -> Pool {
+        self.retries = retries;
+        self
     }
 
     /// Worker count.
@@ -57,6 +187,13 @@ impl Pool {
     /// Applies `f` to every item, in parallel, returning outputs in input
     /// order. `f` receives the cell index alongside the item so cells can
     /// derive per-cell seeds/labels deterministically.
+    ///
+    /// # Panics
+    ///
+    /// If any job panics, the panic is caught, **every other job still
+    /// runs to completion**, and this panics afterwards with a
+    /// [`SuiteFailures`] payload listing each failed cell (`run_main`
+    /// catches it and exits non-zero with a per-job summary).
     pub fn map<I, O, F>(&self, items: Vec<I>, f: F) -> Vec<O>
     where
         I: Send,
@@ -64,15 +201,124 @@ impl Pool {
         F: Fn(usize, I) -> O + Sync,
     {
         let n = items.len();
-        if self.threads == 1 || n <= 1 {
-            return items
+        let failures: Mutex<Vec<JobFailure>> = Mutex::new(Vec::new());
+        let run = |i: usize, item: I| -> Option<O> {
+            match catch_unwind(AssertUnwindSafe(|| f(i, item))) {
+                Ok(out) => Some(out),
+                Err(payload) => {
+                    relock(&failures).push(JobFailure {
+                        index: i,
+                        kind: FailureKind::Panic,
+                        message: panic_message(payload.as_ref()),
+                        attempts: 1,
+                    });
+                    None
+                }
+            }
+        };
+        let slots: Vec<Option<O>> = if self.threads == 1 || n <= 1 {
+            items
                 .into_iter()
                 .enumerate()
-                .map(|(i, item)| f(i, item))
+                .map(|(i, item)| run(i, item))
+                .collect()
+        } else {
+            let jobs: Vec<Mutex<Option<I>>> =
+                items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+            let slots: Vec<Mutex<Option<O>>> = (0..n).map(|_| Mutex::new(None)).collect();
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..self.threads.min(n) {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        // A missing item would mean the claim counter
+                        // handed the same index out twice; skipping is
+                        // strictly safer than panicking the worker.
+                        let Some(item) = relock(&jobs[i]).take() else {
+                            continue;
+                        };
+                        let out = run(i, item);
+                        *relock(&slots[i]) = out;
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|slot| slot.into_inner().unwrap_or_else(|e| e.into_inner()))
+                .collect()
+        };
+        let mut failures = failures.into_inner().unwrap_or_else(|e| e.into_inner());
+        if !failures.is_empty() {
+            failures.sort_by_key(|f| f.index);
+            std::panic::panic_any(SuiteFailures(failures));
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("no failure recorded, so every slot was filled"))
+            .collect()
+    }
+
+    /// Fully supervised [`Pool::map`]: every job runs under
+    /// `catch_unwind`, against the pool's deadline, with up to
+    /// `retries` bounded re-attempts (deterministic linear backoff), and
+    /// a job that still fails yields an `Err(JobFailure)` **in its slot**
+    /// instead of failing the suite — the caller decides how to report it.
+    ///
+    /// `f` borrows its item (retries re-run the same input). Outputs come
+    /// back in input order, exactly one per item.
+    pub fn try_map<I, O, F>(&self, items: &[I], f: F) -> Vec<Result<O, JobFailure>>
+    where
+        I: Sync,
+        O: Send,
+        F: Fn(usize, &I) -> O + Sync,
+    {
+        let supervise = |i: usize, item: &I| -> Result<O, JobFailure> {
+            let mut last: Option<JobFailure> = None;
+            for attempt in 1..=self.retries + 1 {
+                if attempt > 1 {
+                    std::thread::sleep(Duration::from_millis(10 * u64::from(attempt - 1)));
+                }
+                let start = Instant::now();
+                match catch_unwind(AssertUnwindSafe(|| f(i, item))) {
+                    Ok(out) => match self.deadline {
+                        Some(deadline) if start.elapsed() > deadline => {
+                            last = Some(JobFailure {
+                                index: i,
+                                kind: FailureKind::Timeout,
+                                message: format!(
+                                    "finished after the {:.3}s deadline; result discarded",
+                                    deadline.as_secs_f64()
+                                ),
+                                attempts: attempt,
+                            });
+                        }
+                        _ => return Ok(out),
+                    },
+                    Err(payload) => {
+                        last = Some(JobFailure {
+                            index: i,
+                            kind: FailureKind::Panic,
+                            message: panic_message(payload.as_ref()),
+                            attempts: attempt,
+                        });
+                    }
+                }
+            }
+            Err(last.unwrap_or_else(|| unreachable!("at least one attempt always runs")))
+        };
+        let n = items.len();
+        if self.threads == 1 || n <= 1 {
+            return items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| supervise(i, item))
                 .collect();
         }
-        let jobs: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
-        let slots: Vec<Mutex<Option<O>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let slots: Vec<Mutex<Option<Result<O, JobFailure>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
         std::thread::scope(|scope| {
             for _ in 0..self.threads.min(n) {
@@ -81,9 +327,8 @@ impl Pool {
                     if i >= n {
                         break;
                     }
-                    let item = jobs[i].lock().unwrap().take().expect("each job taken once");
-                    let out = f(i, item);
-                    *slots[i].lock().unwrap() = Some(out);
+                    let out = supervise(i, &items[i]);
+                    *relock(&slots[i]) = Some(out);
                 });
             }
         });
@@ -91,10 +336,41 @@ impl Pool {
             .into_iter()
             .map(|slot| {
                 slot.into_inner()
-                    .expect("worker did not poison the slot")
-                    .expect("scope joined every worker")
+                    .unwrap_or_else(|e| e.into_inner())
+                    .expect("supervise never unwinds, so every slot was filled")
             })
             .collect()
+    }
+}
+
+/// Resolves a raw `ARL_DEADLINE` value: positive seconds (fractions
+/// allowed) become a per-job deadline; unset, zero, or unparsable values
+/// mean no deadline (with a warning for the unparsable case).
+pub fn deadline_from_value(value: Option<&str>) -> Option<Duration> {
+    let v = value?;
+    match v.trim().parse::<f64>() {
+        Ok(secs) if secs > 0.0 && secs.is_finite() => Some(Duration::from_secs_f64(secs)),
+        Ok(_) => None,
+        Err(_) => {
+            eprintln!("[arl-bench] ignoring invalid ARL_DEADLINE={v:?}; no deadline");
+            None
+        }
+    }
+}
+
+/// Resolves a raw `ARL_RETRIES` value: a non-negative integer count of
+/// re-attempts; unset or unparsable values mean no retries (with a
+/// warning for the unparsable case).
+pub fn retries_from_value(value: Option<&str>) -> u32 {
+    let Some(v) = value else {
+        return 0;
+    };
+    match v.trim().parse::<u32>() {
+        Ok(n) => n,
+        Err(_) => {
+            eprintln!("[arl-bench] ignoring invalid ARL_RETRIES={v:?}; no retries");
+            0
+        }
     }
 }
 
@@ -193,6 +469,10 @@ pub struct SuiteReport {
     pub wall_seconds: f64,
     /// Per-cell records, in cell order.
     pub records: Vec<RunRecord>,
+    /// Supervised jobs that failed (panic/timeout) after retries. Only
+    /// serialized when non-empty, so fault-free runs stay byte-identical
+    /// to the unsupervised harness.
+    pub errors: Vec<JobFailure>,
 }
 
 /// `BENCH_*.json` schema identifier; bump when the shape changes.
@@ -208,7 +488,13 @@ pub const PROBE_SCHEMA: &str = "arl-probe/v1";
 /// directory when `ARL_JSON` names one, alongside the file when it names a
 /// file, and into the working directory when `ARL_JSON` is unset.
 pub fn write_probe_json(experiment: &str, doc: &Json) -> std::io::Result<PathBuf> {
-    let file_name = format!("BENCH_{experiment}_probe.json");
+    write_named_json(&format!("BENCH_{experiment}_probe.json"), doc)
+}
+
+/// Writes `doc` as `file_name`, resolved by the `ARL_JSON` convention
+/// (into the directory it names, alongside the file it names, or into
+/// the working directory when unset).
+pub fn write_named_json(file_name: &str, doc: &Json) -> std::io::Result<PathBuf> {
     let file = match std::env::var_os("ARL_JSON") {
         Some(raw) => {
             let path = PathBuf::from(raw);
@@ -237,6 +523,7 @@ impl SuiteReport {
             threads,
             wall_seconds: 0.0,
             records: Vec::new(),
+            errors: Vec::new(),
         }
     }
 
@@ -259,9 +546,11 @@ impl SuiteReport {
             .sum()
     }
 
-    /// The full `BENCH_*.json` document.
+    /// The full `BENCH_*.json` document. The `errors` array (supervised
+    /// job failures) only appears when at least one job failed, keeping
+    /// clean-run documents byte-identical to the pre-supervision schema.
     pub fn to_json(&self) -> Json {
-        Json::obj([
+        let mut pairs = vec![
             ("schema", Json::from(JSON_SCHEMA)),
             ("experiment", Json::from(self.experiment.as_str())),
             ("scale", Json::from(self.scale.as_str())),
@@ -273,7 +562,14 @@ impl SuiteReport {
                 "records",
                 Json::Arr(self.records.iter().map(RunRecord::to_json).collect()),
             ),
-        ])
+        ];
+        if !self.errors.is_empty() {
+            pairs.push((
+                "errors",
+                Json::Arr(self.errors.iter().map(JobFailure::to_json).collect()),
+            ));
+        }
+        Json::obj(pairs)
     }
 
     /// Writes the report to `path`. If `path` is a directory, writes
@@ -299,7 +595,100 @@ impl SuiteReport {
     }
 }
 
-fn scale_label(scale: Scale) -> String {
+/// Append-only per-job completion log backing `ARL_CHECKPOINT` resume.
+///
+/// Each finished job appends one `<key>\t<compact-json>\n` line and the
+/// file is flushed immediately, so a killed sweep loses at most the job
+/// it was executing. On reopen, completed jobs are looked up by key and
+/// their recorded payloads are merged back **verbatim** — a resumed sweep
+/// therefore re-runs only the missing jobs and its merged output is
+/// byte-identical to an uninterrupted run, provided the payloads contain
+/// no wall-clock fields. A trailing partial line (torn write at kill
+/// time) is detected and ignored, which simply re-runs that one job.
+pub struct Checkpoint {
+    path: PathBuf,
+    done: HashMap<String, String>,
+}
+
+impl Checkpoint {
+    /// Opens (or starts) the completion log at `path`, loading every
+    /// intact entry already recorded.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors other than the file not existing yet.
+    pub fn open(path: &Path) -> std::io::Result<Checkpoint> {
+        let mut done = HashMap::new();
+        match std::fs::read_to_string(path) {
+            Ok(text) => {
+                for line in text.lines() {
+                    // A torn line is missing its tab or carries cut-off
+                    // JSON; either way it fails these checks and the job
+                    // is simply re-run on resume.
+                    if let Some((key, payload)) = line.split_once('\t') {
+                        if Json::parse(payload).is_ok() {
+                            done.insert(key.to_string(), payload.to_string());
+                        }
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        Ok(Checkpoint {
+            path: path.to_path_buf(),
+            done,
+        })
+    }
+
+    /// Honours `ARL_CHECKPOINT`: opens the log it names, or `None` when
+    /// the variable is unset.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from [`Checkpoint::open`].
+    pub fn from_env() -> std::io::Result<Option<Checkpoint>> {
+        match std::env::var_os("ARL_CHECKPOINT") {
+            Some(path) => Checkpoint::open(Path::new(&path)).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// The payload recorded for `key`, if that job already completed.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.done.get(key).map(String::as_str)
+    }
+
+    /// Completed jobs on record.
+    pub fn len(&self) -> usize {
+        self.done.len()
+    }
+
+    /// Whether nothing has completed yet.
+    pub fn is_empty(&self) -> bool {
+        self.done.is_empty()
+    }
+
+    /// Records `key` as complete with `payload`, appending to the log and
+    /// flushing before returning.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors opening, appending to, or flushing the log.
+    pub fn record(&mut self, key: &str, payload: &Json) -> std::io::Result<()> {
+        let rendered = payload.render();
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        writeln!(file, "{key}\t{rendered}")?;
+        file.flush()?;
+        self.done.insert(key.to_string(), rendered);
+        Ok(())
+    }
+}
+
+pub(crate) fn scale_label(scale: Scale) -> String {
     if scale.is_tiny() {
         "tiny".to_string()
     } else {
@@ -398,6 +787,159 @@ mod tests {
         }
         assert!((report.capture_seconds() - 2.0).abs() < 1e-12);
         assert!((report.replay_seconds() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn panicking_job_fails_the_map_but_every_other_job_completes() {
+        for threads in [1, 4] {
+            let completed = AtomicUsize::new(0);
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                Pool::new(threads).map((0..8).collect(), |_, x: i32| {
+                    if x == 3 {
+                        panic!("job {x} exploded");
+                    }
+                    completed.fetch_add(1, Ordering::Relaxed);
+                    x
+                })
+            }));
+            let payload = result.expect_err("a panicking job must fail the map");
+            let failures = payload
+                .downcast::<SuiteFailures>()
+                .expect("map panics with SuiteFailures");
+            assert_eq!(failures.0.len(), 1);
+            assert_eq!(failures.0[0].index, 3);
+            assert_eq!(failures.0[0].kind, FailureKind::Panic);
+            assert!(failures.0[0].message.contains("job 3 exploded"));
+            // The failure did not take the suite down with it.
+            assert_eq!(completed.load(Ordering::Relaxed), 7, "threads={threads}");
+            assert!(format!("{:?}", failures).contains("job 3 failed"));
+        }
+    }
+
+    #[test]
+    fn try_map_turns_panics_into_error_records() {
+        for threads in [1, 4] {
+            let out = Pool::new(threads).try_map(&(0..6).collect::<Vec<i32>>(), |i, x| {
+                if *x == 2 {
+                    panic!("bad cell");
+                }
+                i as i32 + *x
+            });
+            assert_eq!(out.len(), 6);
+            for (i, slot) in out.iter().enumerate() {
+                if i == 2 {
+                    let failure = slot.as_ref().expect_err("cell 2 panicked");
+                    assert_eq!(failure.kind, FailureKind::Panic);
+                    assert_eq!(failure.attempts, 1);
+                    assert!(failure.message.contains("bad cell"));
+                } else {
+                    assert_eq!(*slot.as_ref().expect("cell succeeded"), 2 * i as i32);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn try_map_retries_until_a_job_succeeds() {
+        let attempts = AtomicUsize::new(0);
+        let out = Pool::new(1).with_retries(3).try_map(&[()], |_, ()| {
+            if attempts.fetch_add(1, Ordering::Relaxed) < 2 {
+                panic!("flaky");
+            }
+            7u32
+        });
+        assert_eq!(out[0].as_ref().copied(), Ok(7));
+        assert_eq!(attempts.load(Ordering::Relaxed), 3);
+
+        // Retries exhausted: the last failure is reported with its
+        // attempt count.
+        let out = Pool::new(1).with_retries(2).try_map(&[()], |_, ()| -> u32 {
+            panic!("always");
+        });
+        let failure = out[0].as_ref().expect_err("job never succeeds");
+        assert_eq!(failure.attempts, 3);
+        assert_eq!(failure.kind, FailureKind::Panic);
+    }
+
+    #[test]
+    fn try_map_reports_deadline_overruns_as_timeouts() {
+        let out = Pool::new(2)
+            .with_deadline(Some(Duration::from_millis(1)))
+            .try_map(&[false, true], |i, slow| {
+                if *slow {
+                    std::thread::sleep(Duration::from_millis(30));
+                }
+                i
+            });
+        assert_eq!(out[0].as_ref().copied(), Ok(0));
+        let failure = out[1].as_ref().expect_err("slow job misses the deadline");
+        assert_eq!(failure.kind, FailureKind::Timeout);
+        assert!(failure.message.contains("deadline"));
+        let json = failure.to_json();
+        assert_eq!(json.get("kind").unwrap().as_str(), Some("timeout"));
+        assert_eq!(json.get("index").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn report_errors_only_serialize_when_present() {
+        let mut report = SuiteReport::new("unit", Scale::tiny(), 1);
+        assert_eq!(report.to_json().get("errors"), None);
+        report.errors.push(JobFailure {
+            index: 4,
+            kind: FailureKind::Panic,
+            message: "boom".into(),
+            attempts: 2,
+        });
+        let errors = report.to_json();
+        let errors = errors.get("errors").unwrap().as_array().unwrap();
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].get("message").unwrap().as_str(), Some("boom"));
+        assert_eq!(errors[0].get("attempts").unwrap().as_u64(), Some(2));
+    }
+
+    #[test]
+    fn env_knob_parsers_handle_edge_cases() {
+        assert_eq!(deadline_from_value(None), None);
+        assert_eq!(
+            deadline_from_value(Some("2.5")),
+            Some(Duration::from_secs_f64(2.5))
+        );
+        assert_eq!(deadline_from_value(Some("0")), None);
+        assert_eq!(deadline_from_value(Some("soon")), None);
+        assert_eq!(retries_from_value(None), 0);
+        assert_eq!(retries_from_value(Some(" 3 ")), 3);
+        assert_eq!(retries_from_value(Some("many")), 0);
+    }
+
+    #[test]
+    fn checkpoint_records_resume_and_ignore_torn_lines() {
+        let dir = std::env::temp_dir().join(format!("arl-ckpt-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("jobs.ckpt");
+
+        let mut ckpt = Checkpoint::open(&path).unwrap();
+        assert!(ckpt.is_empty());
+        ckpt.record("go/0", &Json::obj([("cycles", Json::from(100u64))]))
+            .unwrap();
+        ckpt.record("gcc/1", &Json::obj([("cycles", Json::from(200u64))]))
+            .unwrap();
+
+        // Simulate a kill mid-append: a torn trailing line.
+        {
+            let mut file = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            write!(file, "perl/2\t{{\"cyc").unwrap();
+        }
+
+        let reopened = Checkpoint::open(&path).unwrap();
+        assert_eq!(reopened.len(), 2);
+        assert_eq!(reopened.get("go/0"), Some(r#"{"cycles":100}"#));
+        assert_eq!(reopened.get("gcc/1"), Some(r#"{"cycles":200}"#));
+        // The torn job reads as not-done, so a resume re-runs it.
+        assert_eq!(reopened.get("perl/2"), None);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -172,6 +172,38 @@ impl Arpt {
         }
     }
 
+    /// Injects a soft error: XORs `mask` (clamped to the counter's two
+    /// state bits) into the entry selected by `slot`. The ARPT is tagless,
+    /// so a particle strike on either the state bits or the index path is
+    /// indistinguishable from corrupting an arbitrary entry — `slot` picks
+    /// that entry deterministically (modulo the table size for limited
+    /// tables). Used by the fault-injection campaign; never called during
+    /// normal simulation.
+    pub fn inject_soft_error(&mut self, slot: u64, mask: u8) {
+        let mask = mask & 0b11;
+        if mask == 0 {
+            return;
+        }
+        match &mut self.storage {
+            Storage::Unlimited(map) => {
+                let cur = map.entry(slot).or_insert(0);
+                *cur ^= mask;
+            }
+            Storage::Limited {
+                table,
+                touched,
+                occupied,
+            } => {
+                let i = (slot % table.len() as u64) as usize;
+                table[i] ^= mask;
+                if !touched[i] {
+                    touched[i] = true;
+                    *occupied += 1;
+                }
+            }
+        }
+    }
+
     /// Number of entries ever written — Table 3's "entries occupied".
     pub fn occupied_entries(&self) -> usize {
         match &self.storage {
@@ -315,6 +347,32 @@ mod tests {
         // Re-updating does not double count.
         a.update(0x40_0000, 0, 0, true);
         assert_eq!(a.occupied_entries(), 100);
+    }
+
+    #[test]
+    fn soft_errors_flip_counter_state() {
+        // Unlimited storage with no context: the slot IS the word pc.
+        let mut a = Arpt::new(CounterScheme::OneBit, Context::None, Capacity::Unlimited);
+        a.update(PC, 0, 0, true);
+        assert!(a.predict(PC, 0, 0));
+        a.inject_soft_error(PC / INST_BYTES, 0b01);
+        assert!(!a.predict(PC, 0, 0), "flipped bit inverts the prediction");
+        a.inject_soft_error(PC / INST_BYTES, 0b01);
+        assert!(a.predict(PC, 0, 0), "second flip restores it");
+        // A zero mask is a no-op.
+        a.inject_soft_error(PC / INST_BYTES, 0);
+        assert!(a.predict(PC, 0, 0));
+    }
+
+    #[test]
+    fn soft_errors_wrap_limited_tables() {
+        let mut a = Arpt::new(CounterScheme::OneBit, Context::None, Capacity::Entries(4));
+        // Slot 5 wraps to entry 1; the strike creates an occupied entry.
+        a.inject_soft_error(5, 0b01);
+        assert_eq!(a.occupied_entries(), 1);
+        // Mask is clamped to the two counter bits (no byte-wide garbage).
+        a.inject_soft_error(6, 0xFC);
+        assert_eq!(a.occupied_entries(), 1, "clamped-to-zero mask is a no-op");
     }
 
     #[test]

@@ -192,10 +192,9 @@ impl Evaluator {
             }
         }
         // 2. Addressing-mode rules 1–3.
-        let info = entry
-            .inst
-            .mem_op()
-            .expect("classify called on a memory entry");
+        let Some(info) = entry.inst.mem_op() else {
+            unreachable!("classify called on a non-memory entry");
+        };
         match static_hint(&info) {
             StaticHint::Stack => return (true, Source::Static),
             StaticHint::NonStack => return (false, Source::Static),
@@ -242,6 +241,7 @@ impl Evaluator {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use arl_isa::{Gpr, Inst, Width};

@@ -123,6 +123,7 @@ impl HintTable {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use arl_mem::Region;

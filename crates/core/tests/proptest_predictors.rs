@@ -1,6 +1,7 @@
 //! Property tests for the prediction machinery.
 
 #![cfg(feature = "proptest-tests")]
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use arl_core::{Arpt, Capacity, Context, CounterScheme};
 use proptest::prelude::*;

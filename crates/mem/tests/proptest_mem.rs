@@ -1,6 +1,7 @@
 //! Property tests for the memory substrate.
 
 #![cfg(feature = "proptest-tests")]
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use arl_mem::{HeapAllocator, Layout, MemImage, Region};
 use proptest::prelude::*;

@@ -484,6 +484,7 @@ impl TraceSource for Machine<'_> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use arl_asm::{FunctionBuilder, ProgramBuilder, Provenance};

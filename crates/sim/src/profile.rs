@@ -59,10 +59,9 @@ impl RegionBreakdown {
     ///
     /// Panics if `label` is not one of [`RegionSet::CLASS_LABELS`].
     pub fn static_fraction(&self, label: &str) -> f64 {
-        let idx = RegionSet::CLASS_LABELS
-            .iter()
-            .position(|&l| l == label)
-            .expect("unknown class label");
+        let Some(idx) = RegionSet::CLASS_LABELS.iter().position(|&l| l == label) else {
+            panic!("unknown class label {label:?}");
+        };
         let total = self.static_total();
         if total == 0 {
             0.0
@@ -195,6 +194,7 @@ pub fn characterize<'a, I: IntoIterator<Item = &'a TraceEntry>>(entries: I) -> W
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::trace::MemAccess;

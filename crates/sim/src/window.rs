@@ -90,7 +90,7 @@ impl WindowStats {
     /// Accessor-side index: callers name a region explicitly, so Text here
     /// is API misuse, not malformed input.
     fn index(region: Region) -> usize {
-        Self::data_index(region).expect("text is not a data access region")
+        Self::data_index(region).unwrap_or_else(|| panic!("{region:?} is not a data access region"))
     }
 }
 
@@ -199,6 +199,7 @@ impl Default for SlidingWindowProfiler {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::trace::MemAccess;

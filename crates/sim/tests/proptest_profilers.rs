@@ -1,6 +1,7 @@
 //! Property tests for the profilers over synthetic trace streams.
 
 #![cfg(feature = "proptest-tests")]
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use arl_isa::{Gpr, Inst, Width};
 use arl_mem::Region;

@@ -1,6 +1,7 @@
 //! Set-associative caches and the two-level memory hierarchy.
 
 use crate::config::{CacheConfig, MachineConfig, PortModel};
+use crate::fault::{FaultKind, TimingFault};
 
 /// Hit/miss counters for one cache.
 #[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
@@ -80,12 +81,19 @@ impl Cache {
             return true;
         }
         self.stats.misses += 1;
-        // Fill into the LRU way.
-        let victim = set
-            .iter_mut()
-            .min_by_key(|(_, last)| *last)
-            .expect("assoc > 0");
-        *victim = (tag, clock);
+        // Fill into the LRU way; an explicit scan keeps a zero-assoc
+        // config (which `CacheConfig` forbids anyway) from panicking.
+        let mut victim = 0;
+        let mut oldest = u64::MAX;
+        for (way, &(_, last)) in set.iter().enumerate() {
+            if last < oldest {
+                oldest = last;
+                victim = way;
+            }
+        }
+        if let Some(slot) = set.get_mut(victim) {
+            *slot = (tag, clock);
+        }
         false
     }
 
@@ -219,6 +227,11 @@ pub struct MemSystem {
     /// LVC-routed accesses served by the data cache because the machine
     /// has no LVC (dispatch steering on a conventional config).
     steer_fallbacks: u64,
+    /// Injected port-layer faults (blackouts, latency spikes), empty in
+    /// normal simulation.
+    port_faults: Vec<TimingFault>,
+    /// Ids of port faults whose active window has been entered.
+    faults_triggered: Vec<u32>,
     now: u64,
 }
 
@@ -236,6 +249,13 @@ impl MemSystem {
             dcache_mshrs: Vec::new(),
             lvc_mshrs: Vec::new(),
             steer_fallbacks: 0,
+            port_faults: config
+                .faults
+                .iter()
+                .filter(|f| f.is_port_fault())
+                .copied()
+                .collect(),
+            faults_triggered: Vec::new(),
             now: 0,
         }
     }
@@ -260,6 +280,72 @@ impl MemSystem {
         }
         self.dcache_mshrs.retain(|&r| r > now);
         self.lvc_mshrs.retain(|&r| r > now);
+        if !self.port_faults.is_empty() {
+            for fault in &self.port_faults {
+                let (start, len) = match fault.kind {
+                    FaultKind::PortBlackout {
+                        start_cycle,
+                        cycles,
+                        ..
+                    }
+                    | FaultKind::LatencySpike {
+                        start_cycle,
+                        cycles,
+                        ..
+                    } => (start_cycle, cycles),
+                    FaultKind::ArptSoftError { .. } => continue,
+                };
+                let active = now >= start && now < start.saturating_add(len);
+                if active && !self.faults_triggered.contains(&fault.id) {
+                    self.faults_triggered.push(fault.id);
+                }
+            }
+        }
+    }
+
+    /// Whether a [`FaultKind::PortBlackout`] on `route` (after LVC
+    /// degradation) is active this cycle.
+    fn blacked_out(&self, effective: Route) -> bool {
+        self.port_faults.iter().any(|f| match f.kind {
+            FaultKind::PortBlackout {
+                route,
+                start_cycle,
+                cycles,
+            } => {
+                self.effective_route(route) == effective
+                    && self.now >= start_cycle
+                    && self.now < start_cycle.saturating_add(cycles)
+            }
+            _ => false,
+        })
+    }
+
+    /// Summed [`FaultKind::LatencySpike`] extra latency on `route` (after
+    /// LVC degradation) for an access started this cycle.
+    fn spike_extra(&self, effective: Route) -> u64 {
+        self.port_faults
+            .iter()
+            .map(|f| match f.kind {
+                FaultKind::LatencySpike {
+                    route,
+                    start_cycle,
+                    cycles,
+                    extra,
+                } if self.effective_route(route) == effective
+                    && self.now >= start_cycle
+                    && self.now < start_cycle.saturating_add(cycles) =>
+                {
+                    extra
+                }
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Ids of injected port faults whose active window was entered during
+    /// the run (attribution for the fault campaign).
+    pub fn faults_triggered(&self) -> &[u32] {
+        &self.faults_triggered
     }
 
     /// Whether an access to `addr` could start on `route` this cycle
@@ -267,13 +353,17 @@ impl MemSystem {
     /// it only matters for misses). [`Route::Lvc`] on a machine without an
     /// LVC is answered for the data cache, which serves such accesses.
     pub fn port_available(&self, route: Route, addr: u64) -> bool {
+        if !self.port_faults.is_empty() && self.blacked_out(self.effective_route(route)) {
+            return false;
+        }
         match self.effective_route(route) {
             Route::DataCache => self.dcache_bw.available(addr, self.dcache.config().ports),
-            Route::Lvc => {
-                let lvc = self.lvc.as_ref().expect("effective route has an LVC");
-                let bw = self.lvc_bw.as_ref().expect("effective route has lvc bw");
-                bw.available(addr, lvc.config().ports)
-            }
+            // `effective_route` only answers `Lvc` when the machine has
+            // one; the data-cache arm is an unreachable safety net.
+            Route::Lvc => match (self.lvc.as_ref(), self.lvc_bw.as_ref()) {
+                (Some(lvc), Some(bw)) => bw.available(addr, lvc.config().ports),
+                _ => self.dcache_bw.available(addr, self.dcache.config().ports),
+            },
         }
     }
 
@@ -284,10 +374,10 @@ impl MemSystem {
     pub fn mshr_would_block(&self, route: Route, addr: u64) -> bool {
         let (cache, mshrs) = match self.effective_route(route) {
             Route::DataCache => (&self.dcache, &self.dcache_mshrs),
-            Route::Lvc => (
-                self.lvc.as_ref().expect("effective route has an LVC"),
-                &self.lvc_mshrs,
-            ),
+            Route::Lvc => match self.lvc.as_ref() {
+                Some(lvc) => (lvc, &self.lvc_mshrs),
+                None => (&self.dcache, &self.dcache_mshrs),
+            },
         };
         !cache.probe(addr) && mshrs.len() >= self.mshr_cap
     }
@@ -319,10 +409,10 @@ impl MemSystem {
         // MSHR pre-check: a miss needs a free slot.
         let (cache, mshrs) = match route {
             Route::DataCache => (&self.dcache, &self.dcache_mshrs),
-            Route::Lvc => (
-                self.lvc.as_ref().expect("machine has an LVC"),
-                &self.lvc_mshrs,
-            ),
+            Route::Lvc => match self.lvc.as_ref() {
+                Some(lvc) => (lvc, &self.lvc_mshrs),
+                None => (&self.dcache, &self.dcache_mshrs),
+            },
         };
         let will_hit = cache.probe(addr);
         if !will_hit && mshrs.len() >= self.mshr_cap {
@@ -342,21 +432,32 @@ impl MemSystem {
                 self.dcache_bw.claim(addr);
                 (self.dcache.access(addr), self.dcache.config().hit_latency)
             }
-            Route::Lvc => {
-                self.lvc_bw.as_mut().expect("lvc bw").claim(addr);
-                let lvc = self.lvc.as_mut().expect("machine has an LVC");
-                (lvc.access(addr), lvc.config().hit_latency)
-            }
+            Route::Lvc => match (self.lvc.as_mut(), self.lvc_bw.as_mut()) {
+                (Some(lvc), Some(bw)) => {
+                    bw.claim(addr);
+                    (lvc.access(addr), lvc.config().hit_latency)
+                }
+                _ => {
+                    self.dcache_bw.claim(addr);
+                    (self.dcache.access(addr), self.dcache.config().hit_latency)
+                }
+            },
+        };
+        let spike = if self.port_faults.is_empty() {
+            0
+        } else {
+            self.spike_extra(route)
         };
         if l1_hit {
-            return Some(l1_latency);
+            return Some(l1_latency + spike);
         }
         let l2_latency = self.l2.config().hit_latency;
-        let total = if self.l2.access(addr) {
-            l1_latency + l2_latency
-        } else {
-            l1_latency + l2_latency + self.memory_latency
-        };
+        let total = spike
+            + if self.l2.access(addr) {
+                l1_latency + l2_latency
+            } else {
+                l1_latency + l2_latency + self.memory_latency
+            };
         let release = self.now + total;
         match route {
             Route::DataCache => self.dcache_mshrs.push(release),
@@ -403,6 +504,7 @@ impl MemSystem {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
@@ -587,6 +689,74 @@ mod tests {
             m.new_cycle();
         }
         assert!(m.access(Route::DataCache, 0x3000_0000).is_some());
+    }
+
+    #[test]
+    fn port_blackout_denies_the_window_and_is_attributed() {
+        let mut config = MachineConfig::baseline_2_0();
+        config.faults.push(TimingFault {
+            id: 7,
+            kind: FaultKind::PortBlackout {
+                route: Route::DataCache,
+                start_cycle: 2,
+                cycles: 2,
+            },
+        });
+        let mut m = MemSystem::new(&config);
+        m.new_cycle(); // cycle 1: before the window
+        assert!(m.port_available(Route::DataCache, 0));
+        assert!(m.faults_triggered().is_empty());
+        m.new_cycle(); // cycle 2: blacked out
+        assert!(!m.port_available(Route::DataCache, 0));
+        assert_eq!(m.faults_triggered(), &[7]);
+        m.new_cycle(); // cycle 3: still blacked out
+        assert!(!m.port_available(Route::DataCache, 0));
+        m.new_cycle(); // cycle 4: window over
+        assert!(m.port_available(Route::DataCache, 0));
+        assert_eq!(m.faults_triggered(), &[7], "id recorded once");
+    }
+
+    #[test]
+    fn latency_spike_charges_extra_inside_the_window() {
+        let mut config = MachineConfig::baseline_2_0();
+        config.faults.push(TimingFault {
+            id: 3,
+            kind: FaultKind::LatencySpike {
+                route: Route::DataCache,
+                start_cycle: 2,
+                cycles: 1,
+                extra: 10,
+            },
+        });
+        let mut m = MemSystem::new(&config);
+        m.new_cycle(); // cycle 1: normal cold miss
+        assert_eq!(m.access(Route::DataCache, 0x2000_0000), Some(64));
+        m.new_cycle(); // cycle 2: spiked hit
+        assert_eq!(m.access(Route::DataCache, 0x2000_0000), Some(2 + 10));
+        m.new_cycle(); // cycle 3: back to normal
+        assert_eq!(m.access(Route::DataCache, 0x2000_0000), Some(2));
+        assert_eq!(m.faults_triggered(), &[3]);
+    }
+
+    #[test]
+    fn lvc_fault_degrades_to_dcache_without_lvc() {
+        // A blackout planned for the LVC must land on the structure that
+        // actually serves LVC-routed accesses on a conventional machine.
+        let mut config = MachineConfig::baseline_2_0();
+        config.faults.push(TimingFault {
+            id: 1,
+            kind: FaultKind::PortBlackout {
+                route: Route::Lvc,
+                start_cycle: 1,
+                cycles: 1,
+            },
+        });
+        let mut m = MemSystem::new(&config);
+        m.new_cycle();
+        assert!(!m.port_available(Route::DataCache, 0));
+        assert!(!m.port_available(Route::Lvc, 0));
+        m.new_cycle();
+        assert!(m.port_available(Route::DataCache, 0));
     }
 
     #[test]

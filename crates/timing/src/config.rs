@@ -1,5 +1,7 @@
 //! Machine configuration (the paper's Table 4).
 
+use crate::fault::TimingFault;
+
 /// How a cache provides its per-cycle access bandwidth.
 ///
 /// The paper's evaluation assumes ideal multi-porting ("the studied models
@@ -173,6 +175,9 @@ pub struct MachineConfig {
     /// depth. `0` models write-through-at-commit (stores block commit on
     /// port contention).
     pub write_buffer: usize,
+    /// Faults to inject during the run (empty for normal simulation; the
+    /// fault campaign materializes seeded plans into this list).
+    pub faults: Vec<TimingFault>,
 }
 
 impl MachineConfig {
@@ -199,6 +204,7 @@ impl MachineConfig {
             recovery: RecoveryMode::SelectiveReissue,
             mshrs: usize::MAX,
             write_buffer: 0,
+            faults: Vec::new(),
         }
     }
 
@@ -245,6 +251,7 @@ impl MachineConfig {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

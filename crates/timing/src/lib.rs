@@ -46,6 +46,7 @@
 
 mod cache;
 mod config;
+mod fault;
 mod metrics;
 mod pipeline;
 mod probe;
@@ -53,6 +54,7 @@ mod valuepred;
 
 pub use cache::{Cache, CacheStats, MemSystem, Route};
 pub use config::{CacheConfig, MachineConfig, PortModel, RecoveryMode};
+pub use fault::{FaultKind, TimingFault};
 pub use metrics::SimStats;
 pub use pipeline::TimingSim;
 pub use probe::{CycleObs, NullProbe, Probe, Recorder, StallCause};

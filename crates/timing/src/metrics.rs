@@ -19,6 +19,11 @@ pub struct SimStats {
     pub region_checks: u64,
     /// Region mispredictions (wrong queue, replayed).
     pub region_mispredicts: u64,
+    /// Mispredicted references that completed the full recovery path:
+    /// detected at the TLB check, re-dispatched to the correct queue, and
+    /// committed. Always `<= region_mispredicts`; a shortfall would mean a
+    /// wrongly-steered reference left the pipeline without recovery.
+    pub recoveries: u64,
     /// Store-to-load forwardings performed in the LSQ.
     pub lsq_forwards: u64,
     /// Fast forwardings performed in the LVAQ.
@@ -46,6 +51,9 @@ pub struct SimStats {
     pub lvc: Option<CacheStats>,
     /// L2 hit/miss counts.
     pub l2: CacheStats,
+    /// Ids of injected faults ([`crate::TimingFault`]) that actually fired
+    /// during the run, in ascending order. Empty in normal simulation.
+    pub faults_applied: Vec<u32>,
 }
 
 impl SimStats {

@@ -16,6 +16,7 @@ use arl_sim::{EntrySliceSource, Machine, SourceError, TraceEntry, TraceSource};
 
 use crate::cache::{MemSystem, Route};
 use crate::config::{MachineConfig, RecoveryMode};
+use crate::fault::{FaultKind, TimingFault};
 use crate::metrics::SimStats;
 use crate::probe::{CycleObs, NullProbe, Probe, StallCause};
 use crate::valuepred::StridePredictor;
@@ -96,6 +97,9 @@ struct Slot {
     verified: bool,
     /// Whether the ARPT (not a static rule) made the steering decision.
     arpt_predicted: bool,
+    /// Whether this reference was wrongly steered, detected, and
+    /// re-dispatched on the correct path (counted at commit).
+    recovered: bool,
     pc: u64,
     ghr: u64,
     ra: u64,
@@ -135,6 +139,9 @@ pub struct TimingSim<P: Probe = NullProbe> {
     fu_used: [usize; 4],
     /// Committed stores awaiting their background cache write.
     write_buffer: VecDeque<(Route, u64)>,
+    /// Pending ARPT soft errors (removed once injected); port-layer faults
+    /// live inside [`MemSystem`].
+    arpt_faults: Vec<TimingFault>,
     probe: P,
 }
 
@@ -198,6 +205,12 @@ impl<P: Probe> TimingSim<P> {
             reg_producer: [None; 64],
             fu_used: [0; 4],
             write_buffer: VecDeque::new(),
+            arpt_faults: config
+                .faults
+                .iter()
+                .filter(|f| !f.is_port_fault())
+                .copied()
+                .collect(),
             config: config.clone(),
             probe,
         }
@@ -216,7 +229,8 @@ impl<P: Probe> TimingSim<P> {
         probe: P,
     ) -> (SimStats, P) {
         let mut machine = Machine::new(program);
-        TimingSim::run_source_probed(&mut machine, config, probe).expect("functional execution")
+        TimingSim::run_source_probed(&mut machine, config, probe)
+            .unwrap_or_else(|e| panic!("functional execution failed: {e}"))
     }
 
     /// [`TimingSim::run_source`] with an attached probe: the probe observes
@@ -301,7 +315,8 @@ impl<P: Probe> TimingSim<P> {
         probe: P,
     ) -> (SimStats, P) {
         let mut source = EntrySliceSource::new(entries);
-        TimingSim::run_source_probed(&mut source, config, probe).expect("slice sources cannot fail")
+        TimingSim::run_source_probed(&mut source, config, probe)
+            .unwrap_or_else(|e| panic!("slice sources cannot fail: {e}"))
     }
 
     fn finish(mut self) -> (SimStats, P) {
@@ -315,6 +330,11 @@ impl<P: Probe> TimingSim<P> {
             self.stats.value_pred_correct =
                 (vp.accuracy() * vp.predictions() as f64).round() as u64;
         }
+        self.stats
+            .faults_applied
+            .extend_from_slice(self.mem.faults_triggered());
+        self.stats.faults_applied.sort_unstable();
+        self.stats.faults_applied.dedup();
         (self.stats, self.probe)
     }
 
@@ -369,12 +389,17 @@ impl<P: Probe> TimingSim<P> {
         let is_mem = entry.mem.is_some();
         if is_mem {
             if self.config.is_decoupled() {
-                let info = entry.inst.mem_op().expect("mem entry");
+                let Some(info) = entry.inst.mem_op() else {
+                    unreachable!("memory entry carries no mem_op");
+                };
                 predicted_stack = match static_hint(&info) {
                     StaticHint::Stack => true,
                     StaticHint::NonStack => false,
                     StaticHint::Dynamic => {
                         arpt_predicted = true;
+                        if !self.arpt_faults.is_empty() {
+                            self.apply_arpt_faults();
+                        }
                         self.arpt.predict_counted(entry.pc, entry.ghr, entry.ra)
                     }
                 };
@@ -496,6 +521,7 @@ impl<P: Probe> TimingSim<P> {
             agen_done_at: NO_CYCLE,
             verified: false,
             arpt_predicted,
+            recovered: false,
             pc: entry.pc,
             ghr: entry.ghr,
             ra: entry.ra,
@@ -503,6 +529,29 @@ impl<P: Probe> TimingSim<P> {
         self.waiting_issue.push_back(seq);
         let _ = predicted_stack;
         true
+    }
+
+    /// Injects any pending ARPT soft errors whose trigger lookup has been
+    /// reached (called just before a counted lookup, so `at_lookup == n`
+    /// corrupts the table the `n`-th lookup reads).
+    fn apply_arpt_faults(&mut self) {
+        let next_lookup = self.arpt.lookups() + 1;
+        let mut i = 0;
+        while i < self.arpt_faults.len() {
+            let fault = self.arpt_faults[i];
+            match fault.kind {
+                FaultKind::ArptSoftError {
+                    slot,
+                    mask,
+                    at_lookup,
+                } if at_lookup <= next_lookup => {
+                    self.arpt.inject_soft_error(slot, mask);
+                    self.stats.faults_applied.push(fault.id);
+                    self.arpt_faults.remove(i);
+                }
+                _ => i += 1,
+            }
+        }
     }
 
     // ---- issue ------------------------------------------------------------
@@ -671,6 +720,9 @@ impl<P: Probe> TimingSim<P> {
             s.route = correct_route;
             s.verified = true;
             s.mem = MemPhase::Ready;
+            // Detected and re-dispatched on the correct path; commit
+            // counts the completed recovery.
+            s.recovered = true;
             // Detection this cycle; re-issue `penalty` cycles later.
             s.mem_ready_at = now + 1 + penalty;
             if self.config.recovery == RecoveryMode::Squash {
@@ -802,6 +854,7 @@ impl<P: Probe> TimingSim<P> {
             let route = head.route;
             let addr = head.addr;
             let seq = head.seq;
+            let recovered = head.recovered;
             let done = match head.mem {
                 MemPhase::None | MemPhase::Accessed => {
                     head.complete_at != NO_CYCLE && head.complete_at <= self.cycle
@@ -850,6 +903,9 @@ impl<P: Probe> TimingSim<P> {
                 if *r == Some(seq) {
                     *r = None;
                 }
+            }
+            if recovered {
+                self.stats.recoveries += 1;
             }
             self.rob.pop_front();
             self.head_seq += 1;

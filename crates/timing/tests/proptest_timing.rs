@@ -3,6 +3,7 @@
 //! invariants.
 
 #![cfg(feature = "proptest-tests")]
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use arl_asm::{FunctionBuilder, Program, ProgramBuilder, Provenance};
 use arl_isa::Gpr;

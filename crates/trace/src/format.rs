@@ -279,23 +279,27 @@ impl Trace {
 
     /// Validates and adopts serialized trace bytes.
     ///
+    /// Validation runs cheapest-first: length, magic/version, then the
+    /// O(1) structural footer invariants (the exited flag is a real
+    /// boolean; the event count fits the body, since every event costs
+    /// at least one byte), and only then the O(n) checksum. The order
+    /// matters for robustness *and* speed: a truncated container lands
+    /// its footer window on arbitrary event-stream bytes, which in
+    /// practice always trips a structural check, so rejecting a
+    /// truncation at **any** byte offset costs O(1) instead of a full
+    /// re-hash — and a checksum-re-sealed forgery of a footer field is
+    /// refused at adoption, before any decode loop can trust it.
+    ///
     /// # Errors
     ///
     /// [`SourceError::Corrupt`] when the container is too short, the
-    /// checksum does not match, or the magic/version are wrong.
+    /// magic/version are wrong, a footer field is structurally invalid,
+    /// or the checksum does not match.
     pub fn from_bytes(bytes: Vec<u8>) -> Result<Trace, SourceError> {
         if bytes.len() < MIN_LEN {
             return Err(SourceError::Corrupt(format!(
                 "trace too short: {} bytes, need at least {MIN_LEN}",
                 bytes.len()
-            )));
-        }
-        let body_len = bytes.len() - CHECKSUM_LEN;
-        let stored = read_u64_le(&bytes, body_len);
-        let computed = fnv1a64(&bytes[..body_len]);
-        if stored != computed {
-            return Err(SourceError::Corrupt(format!(
-                "checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
             )));
         }
         if bytes[..4] != MAGIC {
@@ -305,6 +309,28 @@ impl Trace {
             return Err(SourceError::Corrupt(format!(
                 "unsupported trace version {} (expected {VERSION})",
                 bytes[4]
+            )));
+        }
+        let footer = bytes.len() - CHECKSUM_LEN - FOOTER_LEN;
+        let exited = bytes[footer + 24];
+        if exited > 1 {
+            return Err(SourceError::Corrupt(format!(
+                "exited flag is {exited}, not a boolean"
+            )));
+        }
+        let count = read_u64_le(&bytes, footer);
+        let body_bytes = (footer - HEADER_LEN) as u64;
+        if count > body_bytes {
+            return Err(SourceError::Corrupt(format!(
+                "event count {count} exceeds the {body_bytes}-byte body"
+            )));
+        }
+        let body_len = bytes.len() - CHECKSUM_LEN;
+        let stored = read_u64_le(&bytes, body_len);
+        let computed = fnv1a64(&bytes[..body_len]);
+        if stored != computed {
+            return Err(SourceError::Corrupt(format!(
+                "checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
             )));
         }
         Ok(Trace { bytes })
@@ -392,6 +418,7 @@ impl Trace {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

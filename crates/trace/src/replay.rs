@@ -189,6 +189,7 @@ impl TraceSource for Replayer<'_> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::format::TraceEvent;

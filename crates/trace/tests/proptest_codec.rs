@@ -4,6 +4,7 @@
 //! of forged (checksum-re-sealed) footer fields.
 
 #![cfg(feature = "proptest-tests")]
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use arl_mem::PAGE_SIZE;
 use arl_sim::Metrics;
@@ -105,11 +106,11 @@ proptest! {
 
     /// An attacker (or bit rot plus coincidence) can rewrite a footer
     /// field *and* re-seal the container checksum. The checksum then
-    /// validates, so `from_bytes` accepts the container — but a forged
-    /// event count must still be rejected before it can drive a huge
-    /// decode loop: every event costs at least one body byte.
+    /// validates, so only the structural footer invariants stand between
+    /// a forged event count and a huge decode loop: every event costs at
+    /// least one body byte, so adoption itself must refuse the forgery.
     #[test]
-    fn forged_event_count_is_rejected_early(
+    fn forged_event_count_is_rejected_at_adoption(
         entry_pc in any::<u64>(),
         evs in events(),
         excess in 1u64..1 << 40,
@@ -126,11 +127,27 @@ proptest! {
         let checksum = fnv1a64(&bytes[..seal_at]);
         bytes[seal_at..].copy_from_slice(&checksum.to_le_bytes());
 
-        // The container checksum is consistent, so adoption succeeds...
-        let reparsed = Trace::from_bytes(bytes).expect("re-sealed container validates");
-        prop_assert_eq!(reparsed.event_count(), forged);
-        // ...but decoding must reject the count up front instead of
-        // looping `forged` times.
-        prop_assert!(reparsed.events().is_err());
+        // The container checksum is consistent, yet adoption must still
+        // refuse the container outright.
+        prop_assert!(Trace::from_bytes(bytes).is_err());
+    }
+
+    /// Same re-sealing attack against the exited flag: a non-boolean
+    /// value survives the checksum but not the structural check.
+    #[test]
+    fn forged_exited_flag_is_rejected_at_adoption(
+        entry_pc in any::<u64>(),
+        evs in events(),
+        forged in 2u8..=255,
+    ) {
+        let trace = Trace::from_events(entry_pc, &evs, &Metrics::default());
+        let mut bytes = trace.into_bytes();
+        let exited_at = bytes.len() - 9;
+        bytes[exited_at] = forged;
+        let seal_at = bytes.len() - 8;
+        let checksum = fnv1a64(&bytes[..seal_at]);
+        bytes[seal_at..].copy_from_slice(&checksum.to_le_bytes());
+
+        prop_assert!(Trace::from_bytes(bytes).is_err());
     }
 }

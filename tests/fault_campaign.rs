@@ -1,0 +1,122 @@
+//! Fault-campaign integration: checkpoint/resume produces byte-identical
+//! merged output with exactly-once execution, and the full suite shows
+//! zero silent corruptions at tiny scale.
+
+use std::sync::Mutex;
+
+use arl::sim::functional_instructions_executed;
+use arl_bench::{fault_campaign_with, Checkpoint, ExperimentOptions, FAULTS_SCHEMA};
+use arl_faults::{Layer, LayerPlan};
+use arl_workloads::Scale;
+
+/// The functional-instruction counter is process-global, so tests that
+/// difference it must not interleave.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serialize() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn opts() -> ExperimentOptions {
+    ExperimentOptions::new(Scale::tiny(), 2)
+}
+
+fn plans() -> Vec<LayerPlan> {
+    Layer::ALL
+        .iter()
+        .map(|&layer| LayerPlan {
+            layer,
+            seed: 42,
+            count: 1,
+        })
+        .collect()
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("arl-faultcamp-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn checkpoint_resume_is_byte_identical_and_exactly_once() {
+    let _guard = serialize();
+    let dir = temp_dir("resume");
+    let ckpt_path = dir.join("campaign.ckpt");
+    let plans = plans();
+
+    // Reference: an uninterrupted 3-workload campaign, and the
+    // functional work it costs (captures only; replays execute nothing).
+    let before = functional_instructions_executed();
+    let uninterrupted = fault_campaign_with(&opts(), &plans, Some(3), None);
+    let full_cost = functional_instructions_executed() - before;
+    assert!(!uninterrupted.failed, "{}", uninterrupted.text);
+    assert!(full_cost > 0, "captures must execute functionally");
+
+    // Interrupted sweep: run only the first job against a checkpoint,
+    // then "crash".
+    let before = functional_instructions_executed();
+    let first = fault_campaign_with(
+        &opts(),
+        &plans,
+        Some(1),
+        Some(Checkpoint::open(&ckpt_path).unwrap()),
+    );
+    let first_cost = functional_instructions_executed() - before;
+    assert!(!first.failed);
+    assert!(first_cost > 0 && first_cost < full_cost);
+
+    // Resume: reopen the checkpoint and run the full 3-job sweep. The
+    // first job must be served from the checkpoint (no re-execution),
+    // and the merged document must be byte-identical to the
+    // uninterrupted run.
+    let resumed_ckpt = Checkpoint::open(&ckpt_path).unwrap();
+    assert_eq!(resumed_ckpt.len(), 1);
+    let before = functional_instructions_executed();
+    let resumed = fault_campaign_with(&opts(), &plans, Some(3), Some(resumed_ckpt));
+    let resume_cost = functional_instructions_executed() - before;
+    assert!(!resumed.failed);
+    assert_eq!(
+        resumed.doc.render(),
+        uninterrupted.doc.render(),
+        "resumed merge must be byte-identical to the uninterrupted run"
+    );
+    // Exactly-once: the resume re-executed precisely the two missing
+    // workloads (workload builds/replays are deterministic, so the
+    // functional-instruction ledger balances to the instruction).
+    assert_eq!(
+        resume_cost,
+        full_cost - first_cost,
+        "resume must not re-execute the checkpointed workload"
+    );
+
+    // A second resume with everything checkpointed executes nothing.
+    let done_ckpt = Checkpoint::open(&ckpt_path).unwrap();
+    assert_eq!(done_ckpt.len(), 3);
+    let before = functional_instructions_executed();
+    let replayed = fault_campaign_with(&opts(), &plans, Some(3), Some(done_ckpt));
+    assert_eq!(functional_instructions_executed() - before, 0);
+    assert_eq!(replayed.doc.render(), uninterrupted.doc.render());
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn full_suite_tiny_campaign_has_zero_silent_corruptions() {
+    let _guard = serialize();
+    // The acceptance gate: every workload, every layer, seeded faults —
+    // nothing may complete with a corrupted result unnoticed, and the
+    // timing layers may never corrupt anything at all.
+    let run = fault_campaign_with(&opts(), &plans(), None, None);
+    assert!(!run.failed, "campaign failed:\n{}", run.text);
+    assert_eq!(run.doc.get("schema").unwrap().as_str(), Some(FAULTS_SCHEMA));
+    let records = run.doc.get("records").unwrap().as_array().unwrap();
+    assert_eq!(records.len(), 12 * 3, "12 workloads x 3 layers x 1 fault");
+    let totals = run.doc.get("totals").unwrap();
+    assert_eq!(totals.get("fault_silent").unwrap().as_u64(), Some(0));
+    assert_eq!(totals.get("fault_fatal").unwrap().as_u64(), Some(0));
+    // Trace corruption is always caught by the container checksum.
+    let detected = totals.get("fault_detected").unwrap().as_u64().unwrap();
+    assert!(detected >= 12, "every trace fault must be detected");
+    assert_eq!(run.doc.get("errors"), None, "no job may fail");
+}

@@ -1,0 +1,136 @@
+//! Trace-container robustness: truncation at *every* byte offset and
+//! arbitrary byte corruption must surface as `SourceError::Corrupt`,
+//! never a panic and never a silently-adopted trace.
+//!
+//! The exhaustive fixture sweep is feasible because `Trace::from_bytes`
+//! validates the O(1) structural footer invariants before the O(n)
+//! checksum: a truncated container lands its footer window on arbitrary
+//! event-stream bytes, which trips a structural check, so the whole
+//! 338K-offset sweep costs O(n) instead of O(n²) hashing.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use arl::sim::{Metrics, SourceError};
+use arl::trace::{Trace, TraceEvent};
+use proptest::prelude::*;
+
+const FIXTURE: &[u8] = include_bytes!(concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/perl_tiny.arltrace"
+));
+
+fn expect_corrupt(bytes: Vec<u8>, what: &str) {
+    let result = catch_unwind(AssertUnwindSafe(|| Trace::from_bytes(bytes)));
+    match result {
+        Ok(Err(SourceError::Corrupt(_))) => {}
+        Ok(Err(other)) => panic!("{what}: wrong error variant: {other}"),
+        Ok(Ok(_)) => panic!("{what}: corrupt container was adopted"),
+        Err(_) => panic!("{what}: Trace::from_bytes panicked"),
+    }
+}
+
+/// A small synthetic trace with a non-trivial event mix, for the
+/// exhaustive truncation-and-flip loops that would be too slow against
+/// the full fixture.
+fn small_trace_bytes() -> Vec<u8> {
+    let events: Vec<TraceEvent> = (0..24)
+        .map(|i| TraceEvent {
+            pc: 0x10_000 + i * 8,
+            next_pc: 0x10_000 + (i + 1) * 8,
+            taken: i % 3 == 0,
+            mem_addr: (i % 2 == 0).then_some(0x7000_0000 + i * 16),
+            value: (i % 4 == 0).then_some(i as i64 - 7),
+        })
+        .collect();
+    let metrics = Metrics {
+        instructions: events.len() as u64,
+        resident_pages: 3,
+        peak_rss_bytes: 3 * 4096,
+        output_values: 2,
+        exited: true,
+    };
+    Trace::from_events(0x10_000, &events, &metrics).into_bytes()
+}
+
+/// The golden fixture, truncated at every byte offset from 0 to len-1,
+/// must always be rejected as corrupt without panicking.
+#[test]
+fn fixture_truncation_at_every_offset_is_rejected() {
+    assert!(
+        Trace::from_bytes(FIXTURE.to_vec()).is_ok(),
+        "the untruncated fixture must validate"
+    );
+    for len in 0..FIXTURE.len() {
+        expect_corrupt(
+            FIXTURE[..len].to_vec(),
+            &format!("fixture truncated to {len} bytes"),
+        );
+    }
+}
+
+/// Exhaustive truncation of a small synthetic trace: same invariant,
+/// independent of the fixture's particular byte patterns.
+#[test]
+fn small_trace_truncation_at_every_offset_is_rejected() {
+    let bytes = small_trace_bytes();
+    assert!(Trace::from_bytes(bytes.clone()).is_ok());
+    for len in 0..bytes.len() {
+        expect_corrupt(
+            bytes[..len].to_vec(),
+            &format!("small trace truncated to {len} bytes"),
+        );
+    }
+}
+
+/// Exhaustive single-byte corruption of the small trace: every (offset,
+/// XOR-mask) pair with a low-weight mask is rejected; a full 255-mask
+/// sweep at every offset would be slow, so sweep all offsets with a few
+/// masks and all masks at the structurally-interesting tail.
+#[test]
+fn small_trace_single_byte_flips_are_rejected() {
+    let bytes = small_trace_bytes();
+    for at in 0..bytes.len() {
+        for mask in [0x01u8, 0x80, 0xFF] {
+            let mut corrupt = bytes.clone();
+            corrupt[at] ^= mask;
+            expect_corrupt(corrupt, &format!("byte {at} xor {mask:#04x}"));
+        }
+    }
+    // Footer + checksum window: every possible flip.
+    for at in bytes.len() - 33..bytes.len() {
+        for mask in 1u8..=255 {
+            let mut corrupt = bytes.clone();
+            corrupt[at] ^= mask;
+            expect_corrupt(corrupt, &format!("tail byte {at} xor {mask:#04x}"));
+        }
+    }
+}
+
+proptest! {
+    /// Sampled single-byte corruption across the full golden fixture.
+    #[test]
+    fn fixture_byte_flips_are_rejected(pick in any::<u64>(), mask in 1u8..=255) {
+        let at = (pick % FIXTURE.len() as u64) as usize;
+        let mut corrupt = FIXTURE.to_vec();
+        corrupt[at] ^= mask;
+        prop_assert!(
+            matches!(Trace::from_bytes(corrupt), Err(SourceError::Corrupt(_))),
+            "flipping fixture byte {} with mask {:#04x} went undetected", at, mask
+        );
+    }
+
+    /// Sampled multi-point damage: truncate the fixture *and* corrupt a
+    /// surviving byte — still never a panic, always `Corrupt`.
+    #[test]
+    fn fixture_truncate_then_flip_is_rejected(
+        keep in 1usize..338_000,
+        pick in any::<u64>(),
+        mask in 1u8..=255,
+    ) {
+        let keep = keep.min(FIXTURE.len() - 1);
+        let mut corrupt = FIXTURE[..keep].to_vec();
+        let at = (pick % corrupt.len() as u64) as usize;
+        corrupt[at] ^= mask;
+        expect_corrupt(corrupt, &format!("truncate to {keep} then flip byte {at}"));
+    }
+}
