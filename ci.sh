@@ -49,4 +49,14 @@ ARL_SCALE=tiny ARL_FAULT=all:42:2 \
     cargo run --quiet --release -p arl-bench --bin fault_campaign > /dev/null
 diff "$smoke_dir/full/BENCH_faults.json" "$smoke_dir/resumed/BENCH_faults.json"
 
+echo "==> replay-speed regression gate (subset vs committed BENCH_speed.json)"
+# Re-time a fixed three-workload subset on the event core only and fail
+# if any falls below ARL_SPEED_MIN_RATIO (default 0.8) of the committed
+# baseline throughput. Absolute wall-clock gates are noisy; the 20%
+# slack plus best-of-2 reps keeps this stable on shared machines while
+# still catching order-of-magnitude regressions in the hot loop.
+ARL_SPEED_WORKLOADS=compress,go,tomcatv ARL_SPEED_LEGACY=0 \
+    ARL_SPEED_BASELINE=BENCH_speed.json ARL_JSON="$smoke_dir" \
+    cargo run --quiet --release -p arl-bench --bin bench_speed
+
 echo "CI OK"

@@ -22,7 +22,8 @@ use arl_trace::Trace;
 use arl_workloads::{suite, workload, Scale, WorkloadSpec};
 
 use crate::runner::{
-    timed_record, write_probe_json, Pool, RunRecord, SuiteFailures, SuiteReport, PROBE_SCHEMA,
+    dedupe_failures, timed_record, write_probe_json, Pool, RunRecord, SuiteFailures, SuiteReport,
+    PROBE_SCHEMA,
 };
 use crate::{
     capture_trace, capture_trace_with, evaluate_program, evaluate_trace, fmt_millions, fmt_pct,
@@ -160,12 +161,14 @@ pub fn run_main(experiment: impl FnOnce(&ExperimentOptions) -> ExperimentRun) {
         Ok(run) => run,
         Err(payload) => match payload.downcast::<SuiteFailures>() {
             Ok(failures) => {
-                for failure in &failures.0 {
+                let mut failures = failures.0;
+                dedupe_failures(&mut failures);
+                for failure in &failures {
                     eprintln!("[arl-bench] {}", failure.summary());
                 }
                 eprintln!(
                     "[arl-bench] {} job(s) failed; no output written",
-                    failures.0.len()
+                    failures.len()
                 );
                 std::process::exit(1);
             }
@@ -191,12 +194,16 @@ pub fn run_main(experiment: impl FnOnce(&ExperimentOptions) -> ExperimentRun) {
         }
     }
     if !run.report.errors.is_empty() {
-        for failure in &run.report.errors {
+        // One stderr line per job id, even when an experiment collected a
+        // record per attempt (the JSON keeps the full per-attempt array).
+        let mut errors = run.report.errors.clone();
+        dedupe_failures(&mut errors);
+        for failure in &errors {
             eprintln!("[arl-bench] {}", failure.summary());
         }
         eprintln!(
             "[arl-bench] {} job(s) failed; see the errors array in the JSON output",
-            run.report.errors.len()
+            errors.len()
         );
         std::process::exit(1);
     }

@@ -41,6 +41,11 @@
 mod experiments;
 mod faults;
 mod runner;
+mod speed;
+
+pub use speed::{
+    regressions_vs_baseline, run_speed_suite, write_speed_json, SpeedReport, SpeedRow, SPEED_SCHEMA,
+};
 
 pub use faults::{
     fault_campaign_pooled, fault_campaign_with, max_jobs_from_value, run_faults_main,
@@ -53,9 +58,9 @@ pub use experiments::{
     ExperimentOptions, ExperimentRun, TraceMode,
 };
 pub use runner::{
-    deadline_from_value, retries_from_value, threads_from_value, timed_record, write_probe_json,
-    Checkpoint, FailureKind, JobFailure, Pool, RunRecord, SuiteFailures, SuiteReport, JSON_SCHEMA,
-    PROBE_SCHEMA,
+    deadline_from_value, dedupe_failures, retries_from_value, threads_from_value, timed_record,
+    write_probe_json, Checkpoint, FailureKind, JobFailure, Pool, RunRecord, SuiteFailures,
+    SuiteReport, JSON_SCHEMA, PROBE_SCHEMA,
 };
 
 use arl_asm::Program;

@@ -100,6 +100,17 @@ impl JobFailure {
     }
 }
 
+/// Collapses repeated failure records for the same job id: retried and
+/// re-collected jobs (a resumed sweep, a supervisor that logs every
+/// attempt) would otherwise repeat one job's summary line per attempt.
+/// Keeps the record with the most attempts — the most complete account of
+/// the job's fate — and normalizes the order to job order, so reports
+/// stay deterministic regardless of how the failures were gathered.
+pub fn dedupe_failures(failures: &mut Vec<JobFailure>) {
+    failures.sort_by(|a, b| a.index.cmp(&b.index).then(b.attempts.cmp(&a.attempts)));
+    failures.dedup_by_key(|f| f.index);
+}
+
 /// The panic payload [`Pool::map`] raises after **every** job has run
 /// when at least one of them panicked: the completed cells are not lost
 /// to the first failure, and `run_main` turns this into per-job stderr
@@ -108,8 +119,10 @@ pub struct SuiteFailures(pub Vec<JobFailure>);
 
 impl std::fmt::Debug for SuiteFailures {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "{} job(s) failed:", self.0.len())?;
-        for failure in &self.0 {
+        let mut failures = self.0.clone();
+        dedupe_failures(&mut failures);
+        writeln!(f, "{} job(s) failed:", failures.len())?;
+        for failure in &failures {
             writeln!(f, "  {}", failure.summary())?;
         }
         Ok(())
@@ -252,7 +265,7 @@ impl Pool {
         };
         let mut failures = failures.into_inner().unwrap_or_else(|e| e.into_inner());
         if !failures.is_empty() {
-            failures.sort_by_key(|f| f.index);
+            dedupe_failures(&mut failures);
             std::panic::panic_any(SuiteFailures(failures));
         }
         slots
@@ -878,6 +891,38 @@ mod tests {
         let json = failure.to_json();
         assert_eq!(json.get("kind").unwrap().as_str(), Some("timeout"));
         assert_eq!(json.get("index").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn dedupe_failures_keeps_one_record_per_job() {
+        let failure = |index, attempts, message: &str| JobFailure {
+            index,
+            kind: FailureKind::Panic,
+            message: message.into(),
+            attempts,
+        };
+        // Job 2 recorded once per attempt, out of order; job 0 once.
+        let mut failures = vec![
+            failure(2, 1, "first attempt"),
+            failure(0, 1, "lone"),
+            failure(2, 3, "final attempt"),
+            failure(2, 2, "second attempt"),
+        ];
+        dedupe_failures(&mut failures);
+        assert_eq!(failures.len(), 2);
+        assert_eq!((failures[0].index, failures[0].attempts), (0, 1));
+        // The surviving record is the most-attempted one, job order.
+        assert_eq!((failures[1].index, failures[1].attempts), (2, 3));
+        assert_eq!(failures[1].message, "final attempt");
+
+        // The stderr rendering collapses the same way without mutating
+        // the payload it summarizes.
+        let suite = SuiteFailures(vec![failure(4, 1, "boom"), failure(4, 2, "boom again")]);
+        let rendered = format!("{suite:?}");
+        assert!(rendered.starts_with("1 job(s) failed:"));
+        assert_eq!(rendered.matches("job 4 failed").count(), 1);
+        assert!(rendered.contains("boom again"));
+        assert_eq!(suite.0.len(), 2);
     }
 
     #[test]

@@ -1,0 +1,309 @@
+//! Replay-throughput benchmark for the timing core (`bench_speed`).
+//!
+//! Measures replayed instructions per second on the 12-workload suite for
+//! the event-driven core and (unless `ARL_SPEED_LEGACY=0`) the legacy
+//! cycle-ticking core, emitting `BENCH_speed.json` (schema
+//! [`SPEED_SCHEMA`]). The committed copy at the repo root is the speed
+//! trajectory the ci gate holds the event core to: a run may not fall
+//! below `ARL_SPEED_MIN_RATIO` (default 0.8) of the baseline's
+//! per-workload `event_ips`.
+//!
+//! Each workload's trace is captured once and pre-decoded into a
+//! [`TraceEntry`] slice, so the measurement times the *simulator*, not
+//! trace decode. When both cores run, their [`SimStats`] are asserted
+//! equal — every benchmark run doubles as a differential test.
+//!
+//! Knobs: `ARL_SPEED_WORKLOADS` (comma list filter), `ARL_SPEED_REPS`
+//! (best-of, default 2), `ARL_SPEED_LEGACY=0` (skip the slow legacy
+//! timing), `ARL_SPEED_BASELINE` (path to a committed baseline to gate
+//! against), `ARL_SPEED_MIN_RATIO`, plus the usual `ARL_SCALE`/`ARL_JSON`.
+
+use std::time::Instant;
+
+use arl_sim::{Machine, TraceEntry, TraceSource};
+use arl_stats::Json;
+use arl_timing::{CoreMode, MachineConfig, SimStats, TimingSim};
+use arl_workloads::{suite, Scale};
+
+use crate::runner::{scale_label, write_named_json};
+
+/// `BENCH_speed.json` schema identifier.
+pub const SPEED_SCHEMA: &str = "arl-speed/v1";
+
+/// One workload's measurement.
+pub struct SpeedRow {
+    /// Workload name.
+    pub workload: String,
+    /// Instructions replayed per timed run.
+    pub instructions: u64,
+    /// Simulated cycles (identical across cores, asserted).
+    pub cycles: u64,
+    /// Best-of-reps event-core throughput, instructions/second.
+    pub event_ips: f64,
+    /// Best-of-reps legacy-core throughput; `None` when legacy was skipped.
+    pub legacy_ips: Option<f64>,
+}
+
+impl SpeedRow {
+    /// Event-over-legacy speedup, when both cores were timed.
+    pub fn speedup(&self) -> Option<f64> {
+        self.legacy_ips.map(|l| self.event_ips / l)
+    }
+
+    fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("workload".to_string(), Json::from(self.workload.as_str())),
+            ("instructions".to_string(), Json::from(self.instructions)),
+            ("cycles".to_string(), Json::from(self.cycles)),
+            ("event_ips".to_string(), Json::from(self.event_ips)),
+        ];
+        if let Some(legacy) = self.legacy_ips {
+            pairs.push(("legacy_ips".to_string(), Json::from(legacy)));
+        }
+        if let Some(speedup) = self.speedup() {
+            pairs.push(("speedup".to_string(), Json::from(speedup)));
+        }
+        Json::Obj(pairs)
+    }
+}
+
+/// The full benchmark result.
+pub struct SpeedReport {
+    /// Scale label the suite ran at.
+    pub scale: Scale,
+    /// Name of the machine config measured.
+    pub config_name: String,
+    /// Per-workload rows, suite order.
+    pub rows: Vec<SpeedRow>,
+}
+
+impl SpeedReport {
+    /// Suite-aggregate event throughput (total instructions / total time).
+    pub fn suite_event_ips(&self) -> f64 {
+        let inst: u64 = self.rows.iter().map(|r| r.instructions).sum();
+        let secs: f64 = self
+            .rows
+            .iter()
+            .map(|r| r.instructions as f64 / r.event_ips)
+            .sum();
+        inst as f64 / secs.max(f64::MIN_POSITIVE)
+    }
+
+    /// Suite-aggregate legacy throughput, when every row timed legacy.
+    pub fn suite_legacy_ips(&self) -> Option<f64> {
+        let inst: u64 = self.rows.iter().map(|r| r.instructions).sum();
+        let mut secs = 0.0;
+        for row in &self.rows {
+            secs += row.instructions as f64 / row.legacy_ips?;
+        }
+        Some(inst as f64 / secs.max(f64::MIN_POSITIVE))
+    }
+
+    /// Suite-aggregate event-over-legacy speedup.
+    pub fn suite_speedup(&self) -> Option<f64> {
+        self.suite_legacy_ips().map(|l| self.suite_event_ips() / l)
+    }
+
+    /// The `BENCH_speed.json` document.
+    pub fn to_json(&self) -> Json {
+        let mut suite_pairs = vec![("event_ips".to_string(), Json::from(self.suite_event_ips()))];
+        if let Some(legacy) = self.suite_legacy_ips() {
+            suite_pairs.push(("legacy_ips".to_string(), Json::from(legacy)));
+        }
+        if let Some(speedup) = self.suite_speedup() {
+            suite_pairs.push(("speedup".to_string(), Json::from(speedup)));
+        }
+        Json::obj([
+            ("schema", Json::from(SPEED_SCHEMA)),
+            ("scale", Json::from(scale_label(self.scale))),
+            ("config", Json::from(self.config_name.as_str())),
+            (
+                "rows",
+                Json::Arr(self.rows.iter().map(SpeedRow::to_json).collect()),
+            ),
+            ("suite", Json::Obj(suite_pairs)),
+        ])
+    }
+}
+
+/// The measured machine config: `ARL_SPEED_CONFIG` selects a Figure 8
+/// config by name (e.g. `(2+0)`, `(3+3)`, `(16+0)`); default `(3+3)`.
+fn config_from_env() -> MachineConfig {
+    let Ok(name) = std::env::var("ARL_SPEED_CONFIG") else {
+        return MachineConfig::decoupled(3, 3);
+    };
+    MachineConfig::figure8_suite()
+        .into_iter()
+        .find(|c| c.name == name)
+        .unwrap_or_else(|| panic!("ARL_SPEED_CONFIG={name} matches no figure-8 config"))
+}
+
+fn workload_filter() -> Option<Vec<String>> {
+    let raw = std::env::var("ARL_SPEED_WORKLOADS").ok()?;
+    let names: Vec<String> = raw
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if names.is_empty() {
+        None
+    } else {
+        Some(names)
+    }
+}
+
+fn reps_from_env() -> u32 {
+    std::env::var("ARL_SPEED_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(2)
+}
+
+fn legacy_enabled() -> bool {
+    std::env::var("ARL_SPEED_LEGACY").map_or(true, |v| v != "0")
+}
+
+/// Times `reps` replays of `entries` under `core`, returning the best
+/// throughput and the (rep-invariant) stats.
+fn time_core(
+    entries: &[TraceEntry],
+    config: &MachineConfig,
+    core: CoreMode,
+    reps: u32,
+) -> (f64, SimStats) {
+    let mut cfg = config.clone();
+    cfg.core = core;
+    let mut best = 0.0f64;
+    let mut stats = SimStats::default();
+    for _ in 0..reps {
+        let start = Instant::now();
+        let run = TimingSim::run_trace(entries, &cfg);
+        let secs = start.elapsed().as_secs_f64().max(f64::MIN_POSITIVE);
+        best = best.max(run.instructions as f64 / secs);
+        stats = run;
+    }
+    (best, stats)
+}
+
+/// Runs the benchmark over the (possibly filtered) suite.
+///
+/// # Panics
+///
+/// Panics if a workload fails to execute, if `ARL_SPEED_WORKLOADS` names
+/// an unknown workload, or if the two cores' stats diverge (which would
+/// mean the event core is broken — the differential suite covers this,
+/// but a free check here keeps the committed baseline honest).
+pub fn run_speed_suite(scale: Scale) -> SpeedReport {
+    let filter = workload_filter();
+    let reps = reps_from_env();
+    let with_legacy = legacy_enabled();
+    let config = config_from_env();
+    let mut rows = Vec::new();
+    let mut matched = 0usize;
+    for spec in suite() {
+        if let Some(names) = &filter {
+            if !names.iter().any(|n| n == spec.name) {
+                continue;
+            }
+        }
+        matched += 1;
+        let program = spec.build(scale);
+        let mut machine = Machine::new(&program);
+        let mut entries = Vec::new();
+        while let Some(entry) = machine
+            .next_entry()
+            .unwrap_or_else(|e| panic!("{}: functional execution failed: {e}", spec.name))
+        {
+            entries.push(entry);
+        }
+        let (event_ips, event_stats) = time_core(&entries, &config, CoreMode::Event, reps);
+        let legacy_ips = if with_legacy {
+            let (ips, legacy_stats) = time_core(&entries, &config, CoreMode::Legacy, reps);
+            assert_eq!(
+                event_stats, legacy_stats,
+                "{}: event and legacy cores diverged",
+                spec.name
+            );
+            Some(ips)
+        } else {
+            None
+        };
+        rows.push(SpeedRow {
+            workload: spec.name.to_string(),
+            instructions: event_stats.instructions,
+            cycles: event_stats.cycles,
+            event_ips,
+            legacy_ips,
+        });
+    }
+    if let Some(names) = &filter {
+        assert_eq!(
+            matched,
+            names.len(),
+            "ARL_SPEED_WORKLOADS names unknown workloads: {names:?}"
+        );
+    }
+    SpeedReport {
+        scale,
+        config_name: config.name.clone(),
+        rows,
+    }
+}
+
+/// Writes the report as `BENCH_speed.json` per the `ARL_JSON` convention.
+pub fn write_speed_json(report: &SpeedReport) -> std::io::Result<std::path::PathBuf> {
+    write_named_json("BENCH_speed.json", &report.to_json())
+}
+
+fn min_ratio() -> f64 {
+    std::env::var("ARL_SPEED_MIN_RATIO")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.8)
+}
+
+/// Gates `report` against the committed baseline at `path`: every
+/// measured workload present in the baseline must reach
+/// `min_ratio × baseline event_ips`. Returns the offending rows.
+pub fn regressions_vs_baseline(report: &SpeedReport, path: &str) -> Result<Vec<String>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read baseline {path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("baseline {path} is not JSON: {e}"))?;
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(SPEED_SCHEMA) => {}
+        other => {
+            return Err(format!(
+                "baseline {path} has schema {other:?}, want {SPEED_SCHEMA}"
+            ))
+        }
+    }
+    let ratio = min_ratio();
+    let rows = doc
+        .get("rows")
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("baseline {path} has no rows array"))?;
+    let mut failures = Vec::new();
+    for row in &report.rows {
+        let baseline_ips = rows.iter().find_map(|r| {
+            (r.get("workload").and_then(Json::as_str) == Some(row.workload.as_str()))
+                .then(|| r.get("event_ips").and_then(Json::as_f64))
+                .flatten()
+        });
+        let Some(baseline_ips) = baseline_ips else {
+            continue; // workload not in the baseline (e.g. different scale subset)
+        };
+        let floor = baseline_ips * ratio;
+        if row.event_ips < floor {
+            failures.push(format!(
+                "{}: {:.0} inst/s < {:.0} ({}% of baseline {:.0})",
+                row.workload,
+                row.event_ips,
+                floor,
+                (ratio * 100.0) as u32,
+                baseline_ips,
+            ));
+        }
+    }
+    Ok(failures)
+}

@@ -458,6 +458,49 @@ impl Inst {
         v
     }
 
+    /// [`Inst::gpr_sources`] without the heap allocation: writes the (at
+    /// most two) source registers into `out` and returns how many, with
+    /// `Gpr::ZERO` already filtered out.
+    pub fn gpr_sources_into(&self, out: &mut [Gpr; 2]) -> usize {
+        let mut n = 0;
+        let mut push = |r: Gpr| {
+            if r != Gpr::ZERO {
+                out[n] = r;
+                n += 1;
+            }
+        };
+        match *self {
+            Inst::Alu { rs, rt, .. } | Inst::Branch { rs, rt, .. } => {
+                push(rs);
+                push(rt);
+            }
+            Inst::AluI { rs, .. } | Inst::CvtIf { rs, .. } => push(rs),
+            Inst::Load { base, .. } | Inst::FLoad { base, .. } | Inst::FStore { base, .. } => {
+                push(base)
+            }
+            Inst::Store { rs, base, .. } => {
+                push(rs);
+                push(base);
+            }
+            Inst::Jr { rs } | Inst::Jalr { rs, .. } => push(rs),
+            Inst::Sys { call } => match call {
+                Syscall::Exit
+                | Syscall::Malloc
+                | Syscall::Free
+                | Syscall::PrintInt
+                | Syscall::PrintChar => push(Gpr::A0),
+            },
+            Inst::Lui { .. }
+            | Inst::FAlu { .. }
+            | Inst::FCmp { .. }
+            | Inst::CvtFi { .. }
+            | Inst::Jump { .. }
+            | Inst::Jal { .. }
+            | Inst::Nop => {}
+        }
+        n
+    }
+
     /// General-purpose register written by the instruction, if any.
     pub fn gpr_dest(&self) -> Option<Gpr> {
         let rd = match *self {
@@ -488,6 +531,34 @@ impl Inst {
             Inst::FCmp { fs, ft, .. } => vec![fs, ft],
             Inst::CvtFi { fs, .. } => vec![fs],
             _ => Vec::new(),
+        }
+    }
+
+    /// [`Inst::fpr_sources`] without the heap allocation: writes the (at
+    /// most two) source registers into `out` and returns how many.
+    pub fn fpr_sources_into(&self, out: &mut [Fpr; 2]) -> usize {
+        match *self {
+            Inst::FStore { fs, .. } | Inst::CvtFi { fs, .. } => {
+                out[0] = fs;
+                1
+            }
+            Inst::FAlu { op, fs, ft, .. } => match op {
+                FAluOp::Neg | FAluOp::Abs | FAluOp::Sqrt => {
+                    out[0] = fs;
+                    1
+                }
+                _ => {
+                    out[0] = fs;
+                    out[1] = ft;
+                    2
+                }
+            },
+            Inst::FCmp { fs, ft, .. } => {
+                out[0] = fs;
+                out[1] = ft;
+                2
+            }
+            _ => 0,
         }
     }
 

@@ -284,7 +284,7 @@ mod tests {
         let s = &p.stats()[0];
         let h = s.distribution(Region::Heap);
         assert_eq!(h.total(), s.per_region[1].count());
-        assert!((h.moments().mean() - s.mean(Region::Heap)).abs() < 1e-12);
+        assert!((h.mean() - s.mean(Region::Heap)).abs() < 1e-12);
         // Idle fraction: 9 of every 16 full windows contain no heap ref.
         assert!(
             s.idle_fraction(Region::Heap) > 0.5,

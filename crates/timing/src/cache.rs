@@ -1,5 +1,8 @@
 //! Set-associative caches and the two-level memory hierarchy.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
 use crate::config::{CacheConfig, MachineConfig, PortModel};
 use crate::fault::{FaultKind, TimingFault};
 
@@ -209,6 +212,17 @@ impl BandwidthState {
     }
 }
 
+/// Pops every release cycle due at or before `now`.
+#[inline]
+fn release_due(heap: &mut BinaryHeap<Reverse<u64>>, now: u64) {
+    while let Some(&Reverse(release)) = heap.peek() {
+        if release > now {
+            break;
+        }
+        heap.pop();
+    }
+}
+
 /// The data-side memory hierarchy: L1 data cache (+ optional LVC), a
 /// shared L2, and main memory, with per-cycle bandwidth accounting and
 /// bounded MSHRs for the first-level structures.
@@ -221,9 +235,11 @@ pub struct MemSystem {
     dcache_bw: BandwidthState,
     lvc_bw: Option<BandwidthState>,
     mshr_cap: usize,
-    /// Release cycles of in-flight misses per route.
-    dcache_mshrs: Vec<u64>,
-    lvc_mshrs: Vec<u64>,
+    /// Release cycles of in-flight misses per route (min-heaps, so the
+    /// per-cycle release sweep and the next-event query are O(1) when
+    /// nothing is due).
+    dcache_mshrs: BinaryHeap<Reverse<u64>>,
+    lvc_mshrs: BinaryHeap<Reverse<u64>>,
     /// LVC-routed accesses served by the data cache because the machine
     /// has no LVC (dispatch steering on a conventional config).
     steer_fallbacks: u64,
@@ -246,8 +262,8 @@ impl MemSystem {
             dcache_bw: BandwidthState::new(&config.dcache),
             lvc_bw: config.lvc.as_ref().map(BandwidthState::new),
             mshr_cap: config.mshrs,
-            dcache_mshrs: Vec::new(),
-            lvc_mshrs: Vec::new(),
+            dcache_mshrs: BinaryHeap::new(),
+            lvc_mshrs: BinaryHeap::new(),
             steer_fallbacks: 0,
             port_faults: config
                 .faults
@@ -278,8 +294,8 @@ impl MemSystem {
         if let Some(bw) = &mut self.lvc_bw {
             bw.new_cycle();
         }
-        self.dcache_mshrs.retain(|&r| r > now);
-        self.lvc_mshrs.retain(|&r| r > now);
+        release_due(&mut self.dcache_mshrs, now);
+        release_due(&mut self.lvc_mshrs, now);
         if !self.port_faults.is_empty() {
             for fault in &self.port_faults {
                 let (start, len) = match fault.kind {
@@ -346,6 +362,57 @@ impl MemSystem {
     /// the run (attribution for the fault campaign).
     pub fn faults_triggered(&self) -> &[u32] {
         &self.faults_triggered
+    }
+
+    /// The earliest cycle strictly after `now` at which this memory
+    /// system's observable availability can change on its own: an MSHR
+    /// release (miss return), or a fault window opening or closing. The
+    /// event-driven core may fast-forward a provably idle span up to (but
+    /// not past) this cycle; `None` means nothing is scheduled.
+    pub fn next_event_after(&self, now: u64) -> Option<u64> {
+        let mut next: Option<u64> = None;
+        let mut consider = |at: u64| {
+            if at > now {
+                next = Some(next.map_or(at, |n| n.min(at)));
+            }
+        };
+        // `new_cycle` releases slots due `<= now`, so the heap minimum (if
+        // any) frees — and the miss data returns — during that cycle.
+        for heap in [&self.dcache_mshrs, &self.lvc_mshrs] {
+            if let Some(&Reverse(release)) = heap.peek() {
+                consider(release);
+            }
+        }
+        for fault in &self.port_faults {
+            let (start, len) = match fault.kind {
+                FaultKind::PortBlackout {
+                    start_cycle,
+                    cycles,
+                    ..
+                }
+                | FaultKind::LatencySpike {
+                    start_cycle,
+                    cycles,
+                    ..
+                } => (start_cycle, cycles),
+                FaultKind::ArptSoftError { .. } => continue,
+            };
+            consider(start);
+            consider(start.saturating_add(len));
+        }
+        next
+    }
+
+    /// Jumps the memory system to cycle `to`, replicating the per-cycle
+    /// effects of `to - now` idle [`MemSystem::new_cycle`] calls in one
+    /// step. Only valid across spans with no accesses and no fault-window
+    /// boundaries (the event-driven core guarantees both): bandwidth state
+    /// is already idle, so only the clock and elapsed MSHR releases move.
+    pub fn fast_forward(&mut self, to: u64) {
+        debug_assert!(to >= self.now, "memory time never moves backwards");
+        self.now = to;
+        release_due(&mut self.dcache_mshrs, to);
+        release_due(&mut self.lvc_mshrs, to);
     }
 
     /// Whether an access to `addr` could start on `route` this cycle
@@ -460,8 +527,8 @@ impl MemSystem {
             };
         let release = self.now + total;
         match route {
-            Route::DataCache => self.dcache_mshrs.push(release),
-            Route::Lvc => self.lvc_mshrs.push(release),
+            Route::DataCache => self.dcache_mshrs.push(Reverse(release)),
+            Route::Lvc => self.lvc_mshrs.push(Reverse(release)),
         }
         Some(total)
     }

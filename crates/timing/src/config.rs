@@ -128,6 +128,35 @@ pub enum RecoveryMode {
     Squash,
 }
 
+/// Which main loop drives the timing simulation.
+///
+/// Both cores share every pipeline stage and produce bit-identical
+/// `SimStats` and probe output (pinned by `tests/core_differential.rs`);
+/// they differ only in how idle time passes. [`CoreMode::Event`] detects
+/// cycles on which provably nothing can change and jumps straight to the
+/// next scheduled event; [`CoreMode::Legacy`] ticks every cycle, and is
+/// kept for one release as the differential reference (`ARL_CORE=legacy`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum CoreMode {
+    /// Event-driven: fast-forward provably idle spans (the default).
+    #[default]
+    Event,
+    /// Tick every cycle (the pre-event-wheel loop).
+    Legacy,
+}
+
+impl CoreMode {
+    /// Reads `ARL_CORE` from the environment: `legacy` (any case) selects
+    /// [`CoreMode::Legacy`], anything else — including unset — selects
+    /// [`CoreMode::Event`].
+    pub fn from_env() -> CoreMode {
+        match std::env::var("ARL_CORE") {
+            Ok(v) if v.eq_ignore_ascii_case("legacy") => CoreMode::Legacy,
+            _ => CoreMode::Event,
+        }
+    }
+}
+
 /// The full machine model. [`MachineConfig::baseline_2_0`] reproduces Table 4;
 /// the preset constructors produce the Figure 8 configurations.
 #[derive(Clone, Debug)]
@@ -178,6 +207,9 @@ pub struct MachineConfig {
     /// Faults to inject during the run (empty for normal simulation; the
     /// fault campaign materializes seeded plans into this list).
     pub faults: Vec<TimingFault>,
+    /// Which main loop drives the run (from `ARL_CORE`; results are
+    /// bit-identical either way — this only trades simulation speed).
+    pub core: CoreMode,
 }
 
 impl MachineConfig {
@@ -205,6 +237,7 @@ impl MachineConfig {
             mshrs: usize::MAX,
             write_buffer: 0,
             faults: Vec::new(),
+            core: CoreMode::from_env(),
         }
     }
 

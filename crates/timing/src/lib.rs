@@ -47,15 +47,18 @@
 mod cache;
 mod config;
 mod fault;
+mod legacy;
 mod metrics;
 mod pipeline;
 mod probe;
 mod valuepred;
+mod wheel;
 
 pub use cache::{Cache, CacheStats, MemSystem, Route};
-pub use config::{CacheConfig, MachineConfig, PortModel, RecoveryMode};
+pub use config::{CacheConfig, CoreMode, MachineConfig, PortModel, RecoveryMode};
 pub use fault::{FaultKind, TimingFault};
 pub use metrics::SimStats;
 pub use pipeline::TimingSim;
 pub use probe::{CycleObs, NullProbe, Probe, Recorder, StallCause};
 pub use valuepred::StridePredictor;
+pub use wheel::EventWheel;

@@ -6,8 +6,37 @@
 //! instructions from the functional trace; renaming collapses into
 //! producer-sequence dependence tracking (WAR/WAW vanish exactly as a
 //! renamer would make them).
+//!
+//! ## Hot-loop layout and the event-driven core
+//!
+//! In-flight state lives in a structure-of-arrays ring buffer ([`RobSoa`]):
+//! each per-slot field is its own array, so the per-cycle walks (issue
+//! wake-up, memory-stage scan, commit) touch dense homogeneous memory
+//! instead of striding over wide structs.
+//!
+//! Two main loops drive the stages, selected by
+//! [`crate::CoreMode`] (`ARL_CORE`):
+//!
+//! * **Event** (default): after executing a cycle on which provably
+//!   nothing happened (no commit, no issue, no dispatch, no memory-stage
+//!   mutation, no pending ARPT fault), the core jumps straight to the
+//!   cycle before the next scheduled wake-up — the minimum over the
+//!   [`crate::EventWheel`] (FU completions, address-generation finishes,
+//!   memory returns, redirect re-issues) and
+//!   [`MemSystem::next_event_after`] (MSHR releases, fault-window
+//!   boundaries). The skipped span is replayed in bulk: per-cycle
+//!   dispatch-stall counters are multiplied out and the probe receives one
+//!   [`Probe::record_span`] with the (provably constant) cycle
+//!   observation, so `useful + Σstalls == cycles` still holds exactly.
+//! * **Legacy**: tick every cycle, as before the event wheel existed.
+//!
+//! Both cores share every stage function and produce bit-identical
+//! [`SimStats`] and probe output; `tests/core_differential.rs` pins this
+//! across the full workload suite, and DESIGN.md spells out the invariant
+//! argument (why every state-changing threshold is a scheduled event).
 
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 use arl_asm::Program;
 use arl_core::{static_hint, Arpt, StaticHint};
@@ -15,11 +44,12 @@ use arl_isa::{AluOp, FAluOp, Inst};
 use arl_sim::{EntrySliceSource, Machine, SourceError, TraceEntry, TraceSource};
 
 use crate::cache::{MemSystem, Route};
-use crate::config::{MachineConfig, RecoveryMode};
+use crate::config::{CoreMode, MachineConfig, RecoveryMode};
 use crate::fault::{FaultKind, TimingFault};
 use crate::metrics::SimStats;
 use crate::probe::{CycleObs, NullProbe, Probe, StallCause};
 use crate::valuepred::StridePredictor;
+use crate::wheel::EventWheel;
 
 /// Functional-unit classes (Table 4: 16 int ALUs, 16 FP ALUs, 4 int
 /// mul/div, 4 FP mul/div).
@@ -53,6 +83,15 @@ fn classify(inst: &Inst) -> (Fu, u64) {
 }
 
 const NO_CYCLE: u64 = u64::MAX;
+/// Sentinel for "no producer" in the dependence arrays and renamer map.
+const NO_SEQ: u64 = u64::MAX;
+/// Sentinel for "no renamer claim" in [`RobSoa::claimed`].
+const NO_REG: u8 = u8::MAX;
+/// [`RobSoa::issue_q`]/[`RobSoa::mem_q`] value: not appointed anywhere.
+const QUEUE_NONE: u64 = u64::MAX;
+/// [`RobSoa::issue_q`]/[`RobSoa::mem_q`] value: on the every-cycle retry
+/// list (blocked on bandwidth/ordering, or a stale-early wake bound).
+const QUEUE_RETRY: u64 = u64::MAX - 1;
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum MemPhase {
@@ -67,42 +106,234 @@ enum MemPhase {
     Accessed,
 }
 
-struct Slot {
-    seq: u64,
-    dispatch_cycle: u64,
+// Per-slot boolean fields, packed into one byte per slot.
+const F_ISSUED: u8 = 1 << 0;
+/// A confident, *correct* value prediction covers this result.
+const F_VALUE_PRED: u8 = 1 << 1;
+const F_IS_LOAD: u8 = 1 << 2;
+const F_IS_STACK: u8 = 1 << 3;
+const F_VERIFIED: u8 = 1 << 4;
+/// The ARPT (not a static rule) made the steering decision.
+const F_ARPT_PRED: u8 = 1 << 5;
+/// Wrongly steered, detected, and re-dispatched on the correct path
+/// (counted at commit).
+const F_RECOVERED: u8 = 1 << 6;
+/// A store with a live registration (`dep_index` 3) on its data
+/// producer's wake list; prevents double-registration after a squash.
+const F_DATA_WAKE: u8 = 1 << 7;
+
+/// The in-flight window as a structure-of-arrays ring buffer: slot `seq`
+/// lives at physical index `(head + (seq - head_seq)) & mask` of every
+/// array. Capacity is the ROB size rounded up to a power of two and never
+/// grows, so no per-cycle allocation happens on the hot path.
+struct RobSoa {
+    mask: usize,
+    head: usize,
+    len: usize,
+    head_seq: u64,
+    dispatch_cycle: Vec<u64>,
     /// Producer sequence numbers this instruction waits on to *issue*
-    /// (for stores: the address operands only).
-    deps: [Option<u64>; 3],
+    /// (for stores: the address operands only); `NO_SEQ` = no dependence.
+    deps: Vec<[u64; 3]>,
     /// For stores: the producer of the store *data*, tracked separately —
     /// the address is generated as soon as the base register is ready,
     /// exactly so younger loads are not serialized behind store data.
-    data_dep: Option<u64>,
-    fu: Fu,
-    latency: u64,
-    issued: bool,
+    data_dep: Vec<u64>,
+    fu: Vec<Fu>,
+    latency: Vec<u64>,
     /// Cycle the result is available to consumers (`NO_CYCLE` until known).
-    complete_at: u64,
-    /// Whether a confident, *correct* value prediction covers this result.
-    value_predicted: bool,
-    // Memory fields.
-    mem: MemPhase,
-    is_load: bool,
-    addr: u64,
-    is_stack: bool,
-    route: Route,
+    complete_at: Vec<u64>,
+    mem: Vec<MemPhase>,
+    addr: Vec<u64>,
+    route: Vec<Route>,
     /// Earliest cycle the memory stage may process it (after redirect).
-    mem_ready_at: u64,
+    mem_ready_at: Vec<u64>,
     /// Address-generation completion cycle.
-    agen_done_at: u64,
-    verified: bool,
-    /// Whether the ARPT (not a static rule) made the steering decision.
-    arpt_predicted: bool,
-    /// Whether this reference was wrongly steered, detected, and
-    /// re-dispatched on the correct path (counted at commit).
-    recovered: bool,
-    pc: u64,
-    ghr: u64,
-    ra: u64,
+    agen_done_at: Vec<u64>,
+    flags: Vec<u8>,
+    pc: Vec<u64>,
+    ghr: Vec<u64>,
+    ra: Vec<u64>,
+    // Issue wake-up support. `earliest_try` is a provable lower bound on
+    // the first cycle the slot could pass the authoritative issue check;
+    // the slot enters the issue appointment book at that cycle once
+    // `unknown_deps` (producers whose completion cycle is not yet known)
+    // reaches zero. Producers keep an intrusive list of waiting consumers:
+    // `wake_head[p]` holds a packed `(consumer_seq << 2) | dep_index`
+    // handle and `wake_next[c][k]` chains it, so firing a completed
+    // producer's list touches exactly its consumers. `dep_index` 3 is the
+    // store-data dependence (guarded by [`F_DATA_WAKE`]), which wakes the
+    // memory stage rather than issue.
+    earliest_try: Vec<u64>,
+    unknown_deps: Vec<u8>,
+    wake_head: Vec<u64>,
+    wake_next: Vec<[u64; 4]>,
+    /// Registers whose renamer claim this slot holds (`NO_REG` = none):
+    /// commit releases exactly these instead of scanning all 64.
+    claimed: Vec<[u8; 2]>,
+    /// Where the slot currently sits in the issue stage's appointment
+    /// book: a future bucket key, [`QUEUE_RETRY`], or [`QUEUE_NONE`]
+    /// (parked on wake lists, issued, or not dispatched). Stale bucket
+    /// copies are dropped when this no longer matches their key.
+    issue_q: Vec<u64>,
+    /// Same for the memory stage's appointment book.
+    mem_q: Vec<u64>,
+}
+
+impl RobSoa {
+    fn new(rob_size: usize) -> RobSoa {
+        let cap = rob_size.max(1).next_power_of_two();
+        RobSoa {
+            mask: cap - 1,
+            head: 0,
+            len: 0,
+            head_seq: 0,
+            dispatch_cycle: vec![0; cap],
+            deps: vec![[NO_SEQ; 3]; cap],
+            data_dep: vec![NO_SEQ; cap],
+            fu: vec![Fu::IntAlu; cap],
+            latency: vec![0; cap],
+            complete_at: vec![NO_CYCLE; cap],
+            mem: vec![MemPhase::None; cap],
+            addr: vec![0; cap],
+            route: vec![Route::DataCache; cap],
+            mem_ready_at: vec![0; cap],
+            agen_done_at: vec![NO_CYCLE; cap],
+            flags: vec![0; cap],
+            pc: vec![0; cap],
+            ghr: vec![0; cap],
+            ra: vec![0; cap],
+            earliest_try: vec![0; cap],
+            unknown_deps: vec![0; cap],
+            wake_head: vec![NO_SEQ; cap],
+            wake_next: vec![[NO_SEQ; 4]; cap],
+            claimed: vec![[NO_REG; 2]; cap],
+            issue_q: vec![QUEUE_NONE; cap],
+            mem_q: vec![QUEUE_NONE; cap],
+        }
+    }
+
+    /// Physical index of the in-flight slot `seq`.
+    #[inline]
+    fn idx(&self, seq: u64) -> usize {
+        debug_assert!(
+            seq >= self.head_seq && seq - self.head_seq < self.len as u64,
+            "sequence {seq} is not in flight"
+        );
+        (self.head + (seq - self.head_seq) as usize) & self.mask
+    }
+
+    /// Physical index of the slot `offset` entries behind the head.
+    #[inline]
+    fn phys(&self, offset: usize) -> usize {
+        (self.head + offset) & self.mask
+    }
+
+    /// Claims the tail slot; the caller fills every array at the returned
+    /// physical index.
+    #[inline]
+    fn push_back(&mut self) -> usize {
+        let i = self.phys(self.len);
+        self.len += 1;
+        i
+    }
+
+    /// Retires the head slot.
+    #[inline]
+    fn pop_front(&mut self) {
+        debug_assert!(self.len > 0);
+        self.head = (self.head + 1) & self.mask;
+        self.len -= 1;
+        self.head_seq += 1;
+    }
+
+    #[inline]
+    fn has(&self, i: usize, flag: u8) -> bool {
+        self.flags[i] & flag != 0
+    }
+
+    #[inline]
+    fn set(&mut self, i: usize, flag: u8) {
+        self.flags[i] |= flag;
+    }
+
+    #[inline]
+    fn clear(&mut self, i: usize, flag: u8) {
+        self.flags[i] &= !flag;
+    }
+}
+
+/// Appointment-book ring capacity (power of two). Larger than any common
+/// pipeline or memory latency, so the overflow heap stays cold.
+const BOOK_WINDOW: usize = 256;
+
+/// An O(1) appointment book: `(cycle, seq)` bookings within
+/// [`BOOK_WINDOW`] cycles go to a timing ring (one slot of seqs per
+/// cycle), farther ones to a small min-heap.
+///
+/// The ring stores no keys: a slot is drained *in full* at its cycle, so
+/// everything in slot `c & (BOOK_WINDOW - 1)` at cycle `c` was booked for
+/// exactly `c`. That only holds because the run loop visits every booked
+/// cycle — each booking either coincides with an event-wheel wake-up
+/// (producer completions, redirect penalties, squash floors are all
+/// `sched`-ed at their source) or directly follows an active cycle, and
+/// the fast-forward never skips either kind. A visited slot is drained
+/// even when every entry in it has gone stale (the stage validates each
+/// against `issue_q`/`mem_q`), so slots cannot alias `BOOK_WINDOW` cycles
+/// later.
+struct Book {
+    ring: Vec<Vec<u64>>,
+    overflow: BinaryHeap<Reverse<(u64, u64)>>,
+    /// Entries physically stored (stale ones included) — a fast
+    /// emptiness check for quiet cycles.
+    pending: usize,
+}
+
+impl Book {
+    fn new() -> Book {
+        Book {
+            ring: (0..BOOK_WINDOW).map(|_| Vec::new()).collect(),
+            overflow: BinaryHeap::new(),
+            pending: 0,
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, at: u64, now: u64, seq: u64) {
+        debug_assert!(at > now, "appointments must be future");
+        if at - now <= BOOK_WINDOW as u64 {
+            self.ring[at as usize & (BOOK_WINDOW - 1)].push(seq);
+        } else {
+            self.overflow.push(Reverse((at, seq)));
+        }
+        self.pending += 1;
+    }
+
+    /// Whether any booking is due at `now` (assuming every earlier cycle's
+    /// slot was already drained).
+    #[inline]
+    fn has_due(&self, now: u64) -> bool {
+        self.pending != 0
+            && (!self.ring[now as usize & (BOOK_WINDOW - 1)].is_empty()
+                || matches!(self.overflow.peek(), Some(&Reverse((at, _))) if at <= now))
+    }
+
+    /// Moves every booking due at `now` into `out` as `(booked_at, seq)`
+    /// pairs (ring entries are due exactly at `now` by the slot
+    /// invariant).
+    fn drain_due(&mut self, now: u64, out: &mut Vec<(u64, u64)>) {
+        let slot = &mut self.ring[now as usize & (BOOK_WINDOW - 1)];
+        self.pending -= slot.len();
+        out.extend(slot.drain(..).map(|seq| (now, seq)));
+        while let Some(&Reverse((at, seq))) = self.overflow.peek() {
+            if at > now {
+                break;
+            }
+            self.overflow.pop();
+            self.pending -= 1;
+            out.push((at, seq));
+        }
+    }
 }
 
 /// The timing simulator. Construct via [`TimingSim::run_program`] (the
@@ -123,25 +354,48 @@ pub struct TimingSim<P: Probe = NullProbe> {
     stats: SimStats,
 
     cycle: u64,
-    rob: VecDeque<Slot>,
-    head_seq: u64,
+    rob: RobSoa,
     next_seq: u64,
-    /// Sequence numbers awaiting issue, in program order.
-    waiting_issue: VecDeque<u64>,
+    /// Issue appointment book: `(cycle, seq)` pairs drained when due. A
+    /// pair is live only while `rob.issue_q[seq]` still equals its cycle.
+    issue_book: Book,
+    /// Slots re-examined every cycle: issue-ready but starved of width or
+    /// a functional unit, or holding a stale-early wake bound (squash).
+    issue_retry: Vec<u64>,
+    /// Persistent scratch for the issue candidate list.
+    issue_cand: Vec<u64>,
     /// In-flight stores per queue, in program order (for ordering checks).
     lsq_stores: VecDeque<u64>,
     lvaq_stores: VecDeque<u64>,
     lsq_count: usize,
     lvaq_count: usize,
-    /// Per-register producer tracking (32 GPR + 32 FPR).
-    reg_producer: [Option<u64>; 64],
+    /// Per-register producer tracking (32 GPR + 32 FPR); `NO_SEQ` = none.
+    reg_producer: [u64; 64],
     // Per-cycle FU usage.
     fu_used: [usize; 4],
     /// Committed stores awaiting their background cache write.
     write_buffer: VecDeque<(Route, u64)>,
     /// Pending ARPT soft errors (removed once injected); port-layer faults
-    /// live inside [`MemSystem`].
+    /// live inside [`MemSystem`]. While any are pending the event core
+    /// falls back to cycle ticking, because injection triggers on ARPT
+    /// *lookup counts* and skipped dispatch retries would desynchronize
+    /// them.
     arpt_faults: Vec<TimingFault>,
+    /// Future wake-up cycles.
+    wheel: EventWheel,
+    /// Memory-stage appointment book: `(cycle, seq)` pairs for scheduled
+    /// wake-ups (address generation done, redirect penalty served, store
+    /// data arrival). Live only while `rob.mem_q[seq]` matches.
+    mem_book: Book,
+    /// Persistent scratch for draining either book (no per-cycle
+    /// allocation; the stages use it sequentially).
+    due_scratch: Vec<(u64, u64)>,
+    /// Memory slots re-examined every cycle: blocked on ordering, ports,
+    /// MSHRs, or a full redirect target queue.
+    mem_retry: Vec<u64>,
+    /// Persistent scratch for the memory-stage action list (no per-cycle
+    /// allocation).
+    mem_scratch: Vec<u64>,
     probe: P,
 }
 
@@ -194,15 +448,16 @@ impl<P: Probe> TimingSim<P> {
                 ..SimStats::default()
             },
             cycle: 0,
-            rob: VecDeque::with_capacity(config.rob_size),
-            head_seq: 0,
+            rob: RobSoa::new(config.rob_size),
             next_seq: 0,
-            waiting_issue: VecDeque::new(),
+            issue_book: Book::new(),
+            issue_retry: Vec::new(),
+            issue_cand: Vec::new(),
             lsq_stores: VecDeque::new(),
             lvaq_stores: VecDeque::new(),
             lsq_count: 0,
             lvaq_count: 0,
-            reg_producer: [None; 64],
+            reg_producer: [NO_SEQ; 64],
             fu_used: [0; 4],
             write_buffer: VecDeque::new(),
             arpt_faults: config
@@ -211,6 +466,11 @@ impl<P: Probe> TimingSim<P> {
                 .filter(|f| !f.is_port_fault())
                 .copied()
                 .collect(),
+            wheel: EventWheel::new(),
+            mem_book: Book::new(),
+            mem_retry: Vec::new(),
+            mem_scratch: Vec::new(),
+            due_scratch: Vec::new(),
             config: config.clone(),
             probe,
         }
@@ -246,13 +506,18 @@ impl<P: Probe> TimingSim<P> {
         config: &MachineConfig,
         probe: P,
     ) -> Result<(SimStats, P), SourceError> {
+        if config.core == CoreMode::Legacy {
+            // The escape hatch: the preserved pre-refactor cycle-ticking
+            // core, bit-identical by the differential suite.
+            return crate::legacy::LegacySim::run_source_probed(source, config, probe);
+        }
         let mut sim = TimingSim::new(config, probe);
         let mut pending: Option<TraceEntry> = None;
         let mut exhausted = false;
         loop {
             sim.begin_cycle();
             let committed = sim.commit_stage();
-            sim.memory_stage();
+            let mem_active = sim.memory_stage();
             // Attribute the stall after the memory stage so port/MSHR
             // denials reflect this cycle's actual bandwidth claims, but
             // before issue mutates the head's issued state.
@@ -262,7 +527,11 @@ impl<P: Probe> TimingSim<P> {
                 None
             };
             let issued = sim.issue_stage();
-            // Dispatch stage: pull from the source.
+            // Dispatch stage: pull from the source. A failed dispatch
+            // bumps exactly one stall counter; the deltas are what a
+            // fast-forwarded span multiplies out.
+            let rob_stalls_before = sim.stats.rob_stall_cycles;
+            let queue_stalls_before = sim.stats.queue_stall_cycles;
             let mut dispatched = 0;
             while dispatched < sim.config.issue_width {
                 let entry = match pending.take() {
@@ -282,10 +551,10 @@ impl<P: Probe> TimingSim<P> {
                     break;
                 }
             }
-            if P::ENABLED {
+            let obs = if P::ENABLED {
                 let (dcache_claims, lvc_claims) = sim.mem.claims_this_cycle();
-                sim.probe.record(&CycleObs {
-                    rob_occupancy: sim.rob.len(),
+                let o = CycleObs {
+                    rob_occupancy: sim.rob.len,
                     issued,
                     committed,
                     lsq_depth: sim.lsq_count,
@@ -293,10 +562,28 @@ impl<P: Probe> TimingSim<P> {
                     dcache_claims,
                     lvc_claims,
                     stall,
-                });
-            }
-            if exhausted && pending.is_none() && sim.rob.is_empty() && sim.write_buffer.is_empty() {
+                };
+                sim.probe.record(&o);
+                Some(o)
+            } else {
+                None
+            };
+            if exhausted && pending.is_none() && sim.rob.len == 0 && sim.write_buffer.is_empty() {
                 break;
+            }
+            // Event core: this cycle changed nothing (and the replays of
+            // it during the span cannot either), so jump to the eve of the
+            // next scheduled wake-up, replaying the span's constant
+            // per-cycle effects in bulk.
+            if committed == 0
+                && issued == 0
+                && dispatched == 0
+                && !mem_active
+                && sim.arpt_faults.is_empty()
+            {
+                let rob_stall = sim.stats.rob_stall_cycles - rob_stalls_before;
+                let queue_stall = sim.stats.queue_stall_cycles - queue_stalls_before;
+                sim.fast_forward_idle(rob_stall, queue_stall, obs.as_ref());
             }
             debug_assert!(
                 sim.cycle < 100 * sim.stats.instructions.max(1_000_000),
@@ -342,42 +629,138 @@ impl<P: Probe> TimingSim<P> {
         self.cycle += 1;
         self.mem.new_cycle();
         self.fu_used = [0; 4];
+        self.wheel.advance_to(self.cycle);
     }
 
-    fn slot(&self, seq: u64) -> &Slot {
-        &self.rob[(seq - self.head_seq) as usize]
+    /// Schedules a future wake-up on the event wheel. Called on every
+    /// write of a cycle threshold that can turn a blocked machine state
+    /// back into an actionable one.
+    #[inline]
+    fn sched(&mut self, at: u64) {
+        self.wheel.schedule(at);
     }
 
-    fn slot_mut(&mut self, seq: u64) -> &mut Slot {
-        let idx = (seq - self.head_seq) as usize;
-        &mut self.rob[idx]
+    /// Jumps from an executed no-op cycle to the eve of the next scheduled
+    /// event, replaying the span's constant per-cycle effects in bulk:
+    /// dispatch-stall counters multiply out, and the probe receives the
+    /// no-op cycle's observation once per skipped cycle (exactly, via
+    /// [`Probe::record_span`]).
+    fn fast_forward_idle(&mut self, rob_stall: u64, queue_stall: u64, obs: Option<&CycleObs>) {
+        let next = match (self.wheel.upcoming(), self.mem.next_event_after(self.cycle)) {
+            (Some(a), Some(b)) => a.min(b),
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            (None, None) => return,
+        };
+        debug_assert!(next > self.cycle, "events behind the clock must retire");
+        let span = next - self.cycle - 1;
+        if span == 0 {
+            return;
+        }
+        self.stats.rob_stall_cycles += rob_stall * span;
+        self.stats.queue_stall_cycles += queue_stall * span;
+        if P::ENABLED {
+            if let Some(obs) = obs {
+                self.probe.record_span(obs, span);
+            }
+        }
+        self.cycle += span;
+        self.mem.fast_forward(self.cycle);
+        self.wheel.advance_to(self.cycle);
     }
 
     /// When (if ever yet known) the value produced by `seq` is usable.
     fn producer_ready_at(&self, seq: u64) -> u64 {
-        if seq < self.head_seq {
+        if seq < self.rob.head_seq {
             return 0; // already committed
         }
-        let s = self.slot(seq);
-        if s.value_predicted {
+        let i = self.rob.idx(seq);
+        if self.rob.has(i, F_VALUE_PRED) {
             // Consumers may use the predicted value the cycle after the
             // producer dispatched.
-            return s.dispatch_cycle + 1;
+            return self.rob.dispatch_cycle[i] + 1;
         }
-        s.complete_at // NO_CYCLE until issued
+        self.rob.complete_at[i] // NO_CYCLE until issued
     }
 
-    fn deps_ready(&self, slot: &Slot) -> bool {
-        slot.deps.iter().flatten().all(|&dep| {
-            let ready = self.producer_ready_at(dep);
-            ready != NO_CYCLE && ready <= self.cycle
+    fn deps_ready(&self, i: usize) -> bool {
+        self.rob.deps[i].iter().all(|&dep| {
+            dep == NO_SEQ || {
+                let ready = self.producer_ready_at(dep);
+                ready != NO_CYCLE && ready <= self.cycle
+            }
         })
+    }
+
+    /// Books an issue-stage appointment for `seq` at cycle `at`.
+    ///
+    /// Neither book schedules a wheel event of its own: every booked cycle
+    /// is already covered — `cycle + 1` bookings follow an active cycle
+    /// (never fast-forwarded from), and every future component of a booked
+    /// time (a producer's `done_at`, a redirect penalty's served cycle, a
+    /// squash floor) is `sched`-ed where it is computed. The [`Book`] ring
+    /// invariant rests on this coverage.
+    #[inline]
+    fn queue_issue(&mut self, seq: u64, at: u64) {
+        let i = self.rob.idx(seq);
+        self.rob.issue_q[i] = at;
+        self.issue_book.insert(at, self.cycle, seq);
+    }
+
+    /// Books a memory-stage appointment for `seq` at cycle `at`. See
+    /// [`TimingSim::queue_issue`] for why no wheel event is scheduled.
+    #[inline]
+    fn queue_mem(&mut self, seq: u64, at: u64) {
+        let i = self.rob.idx(seq);
+        self.rob.mem_q[i] = at;
+        self.mem_book.insert(at, self.cycle, seq);
+    }
+
+    /// Producer slot `i` just learned its completion cycle: wake every
+    /// consumer registered on its list. Register consumers (`dep_index`
+    /// 0–2) drop their unknown-producer count, raise their issue bound to
+    /// `ready_at`, and enter the issue book once no unknowns remain;
+    /// store-data consumers (`dep_index` 3) re-enter the memory book.
+    /// Fired registrations are consumed; a squash that later revokes this
+    /// completion leaves the consumers' bounds stale-early, which only
+    /// costs re-checks (the authoritative checks still gate).
+    #[inline]
+    fn fire_wakes(&mut self, i: usize, ready_at: u64) {
+        let mut h = self.rob.wake_head[i];
+        if h == NO_SEQ {
+            return;
+        }
+        self.rob.wake_head[i] = NO_SEQ;
+        while h != NO_SEQ {
+            let seq = h >> 2;
+            let k = (h & 3) as usize;
+            let c = self.rob.idx(seq);
+            h = self.rob.wake_next[c][k];
+            if k == 3 {
+                // Store data arrival: the memory stage completes the store
+                // once it is both redirect-served and data-ready.
+                self.rob.clear(c, F_DATA_WAKE);
+                if self.rob.mem[c] == MemPhase::Ready && self.rob.complete_at[c] == NO_CYCLE {
+                    let at = ready_at.max(self.rob.mem_ready_at[c]);
+                    self.queue_mem(seq, at);
+                }
+                continue;
+            }
+            self.rob.unknown_deps[c] -= 1;
+            if ready_at > self.rob.earliest_try[c] {
+                self.rob.earliest_try[c] = ready_at;
+            }
+            if self.rob.unknown_deps[c] == 0 {
+                let at = self.rob.earliest_try[c];
+                self.queue_issue(seq, at);
+            }
+        }
     }
 
     // ---- dispatch ---------------------------------------------------------
 
     fn try_dispatch(&mut self, entry: &TraceEntry) -> bool {
-        if self.rob.len() >= self.config.rob_size {
+        if self.rob.len >= self.config.rob_size {
             self.stats.rob_stall_cycles += 1;
             return false;
         }
@@ -427,8 +810,8 @@ impl<P: Probe> TimingSim<P> {
 
         // Resolve sources against the renamer state. Store-data operands
         // are tracked separately from address operands.
-        let mut deps: [Option<u64>; 3] = [None; 3];
-        let mut data_dep: Option<u64> = None;
+        let mut deps: [u64; 3] = [NO_SEQ; 3];
+        let mut data_dep: u64 = NO_SEQ;
         let mut n = 0;
         match entry.inst {
             arl_isa::Inst::Store { rs, base, .. } => {
@@ -446,11 +829,15 @@ impl<P: Probe> TimingSim<P> {
                 data_dep = self.reg_producer[32 + fs.index()];
             }
             _ => {
-                for r in entry.inst.gpr_sources() {
+                let mut gprs = [arl_isa::Gpr::ZERO; 2];
+                let ng = entry.inst.gpr_sources_into(&mut gprs);
+                for &r in &gprs[..ng] {
                     deps[n] = self.reg_producer[r.index()];
                     n += 1;
                 }
-                for r in entry.inst.fpr_sources() {
+                let mut fprs = [arl_isa::Fpr::new(0); 2];
+                let nf = entry.inst.fpr_sources_into(&mut fprs);
+                for &r in &fprs[..nf] {
                     if n < 3 {
                         deps[n] = self.reg_producer[32 + r.index()];
                         n += 1;
@@ -465,12 +852,16 @@ impl<P: Probe> TimingSim<P> {
             value_predicted = vp.update(entry.pc, actual);
         }
 
-        // Claim the renamer for the destination.
+        // Claim the renamer for the destination, remembering the claims so
+        // commit can release exactly them.
+        let mut claimed = [NO_REG; 2];
         if let Some((rd, _)) = entry.gpr_write {
-            self.reg_producer[rd.index()] = Some(seq);
+            self.reg_producer[rd.index()] = seq;
+            claimed[0] = rd.index() as u8;
         }
         if let Some(fd) = entry.inst.fpr_dest() {
-            self.reg_producer[32 + fd.index()] = Some(seq);
+            self.reg_producer[32 + fd.index()] = seq;
+            claimed[1] = 32 + fd.index() as u8;
         }
 
         let (fu, latency) = classify(&entry.inst);
@@ -498,35 +889,72 @@ impl<P: Probe> TimingSim<P> {
         }
         self.stats.instructions += 1;
 
-        self.rob.push_back(Slot {
-            seq,
-            dispatch_cycle: self.cycle,
-            deps,
-            data_dep,
-            fu,
-            latency,
-            issued: false,
-            complete_at: NO_CYCLE,
-            value_predicted,
-            mem: if is_mem {
-                MemPhase::WaitAgen
+        let i = self.rob.push_back();
+        self.rob.dispatch_cycle[i] = self.cycle;
+        self.rob.deps[i] = deps;
+        self.rob.data_dep[i] = data_dep;
+        self.rob.fu[i] = fu;
+        self.rob.latency[i] = latency;
+        self.rob.complete_at[i] = NO_CYCLE;
+        self.rob.mem[i] = if is_mem {
+            MemPhase::WaitAgen
+        } else {
+            MemPhase::None
+        };
+        self.rob.addr[i] = addr;
+        self.rob.route[i] = route;
+        self.rob.mem_ready_at[i] = 0;
+        self.rob.agen_done_at[i] = NO_CYCLE;
+        let mut flags = 0u8;
+        if value_predicted {
+            flags |= F_VALUE_PRED;
+        }
+        if is_load {
+            flags |= F_IS_LOAD;
+        }
+        if is_stack {
+            flags |= F_IS_STACK;
+        }
+        if arpt_predicted {
+            flags |= F_ARPT_PRED;
+        }
+        self.rob.flags[i] = flags;
+        self.rob.pc[i] = entry.pc;
+        self.rob.ghr[i] = entry.ghr;
+        self.rob.ra[i] = entry.ra;
+        self.rob.claimed[i] = claimed;
+        self.rob.mem_q[i] = QUEUE_NONE; // agen issue books the appointment
+                                        // Issue-wakeup bookkeeping: compute a provable lower bound on the
+                                        // first cycle the issue check could pass, and register on any
+                                        // producer whose completion cycle is not yet known. The slot's own
+                                        // wake list must be empty here — producers fire (complete) before
+                                        // they commit, so a reused slot's list was drained.
+        self.rob.wake_head[i] = NO_SEQ;
+        self.rob.wake_next[i] = [NO_SEQ; 4];
+        let mut earliest = self.cycle + 1; // issue needs dispatch_cycle < cycle
+        let mut unknown = 0u8;
+        for (k, &dep) in deps.iter().enumerate() {
+            if dep == NO_SEQ || dep < self.rob.head_seq {
+                continue; // no producer, or already committed (ready at 0)
+            }
+            let j = self.rob.idx(dep);
+            if self.rob.has(j, F_VALUE_PRED) {
+                earliest = earliest.max(self.rob.dispatch_cycle[j] + 1);
+            } else if self.rob.complete_at[j] != NO_CYCLE {
+                earliest = earliest.max(self.rob.complete_at[j]);
             } else {
-                MemPhase::None
-            },
-            is_load,
-            addr,
-            is_stack,
-            route,
-            mem_ready_at: 0,
-            agen_done_at: NO_CYCLE,
-            verified: false,
-            arpt_predicted,
-            recovered: false,
-            pc: entry.pc,
-            ghr: entry.ghr,
-            ra: entry.ra,
-        });
-        self.waiting_issue.push_back(seq);
+                self.rob.wake_next[i][k] = self.rob.wake_head[j];
+                self.rob.wake_head[j] = (seq << 2) | k as u64;
+                unknown += 1;
+            }
+        }
+        self.rob.earliest_try[i] = earliest;
+        self.rob.unknown_deps[i] = unknown;
+        if unknown == 0 {
+            self.queue_issue(seq, earliest);
+        } else {
+            self.rob.issue_q[i] = QUEUE_NONE; // parked until the last wake
+        }
         let _ = predicted_stack;
         true
     }
@@ -557,47 +985,89 @@ impl<P: Probe> TimingSim<P> {
     // ---- issue ------------------------------------------------------------
 
     fn issue_stage(&mut self) -> usize {
+        // Gather this cycle's candidates: due appointments plus the
+        // every-cycle retry list. Stale book copies (the slot was
+        // re-appointed by a squash, issued, or committed) drop out here.
+        let cycle = self.cycle;
+        if self.issue_retry.is_empty() && !self.issue_book.has_due(cycle) {
+            return 0;
+        }
+        let mut cand = std::mem::take(&mut self.issue_cand);
+        cand.clear();
+        let mut due = std::mem::take(&mut self.due_scratch);
+        due.clear();
+        self.issue_book.drain_due(cycle, &mut due);
+        for &(at, seq) in &due {
+            if seq >= self.rob.head_seq && self.rob.issue_q[self.rob.idx(seq)] == at {
+                cand.push(seq);
+            }
+        }
+        self.due_scratch = due;
+        for n in 0..self.issue_retry.len() {
+            let seq = self.issue_retry[n];
+            if seq >= self.rob.head_seq && self.rob.issue_q[self.rob.idx(seq)] == QUEUE_RETRY {
+                cand.push(seq);
+            }
+        }
+        self.issue_retry.clear();
+        // The authoritative walk is in program order, exactly the order
+        // the legacy core examines ready entries in.
+        cand.sort_unstable();
+        cand.dedup();
         let mut issued = 0;
         let width = self.config.issue_width;
-        let mut i = 0;
-        while i < self.waiting_issue.len() && issued < width {
-            let seq = self.waiting_issue[i];
-            let (ready, fu) = {
-                let s = self.slot(seq);
-                (s.dispatch_cycle < self.cycle && self.deps_ready(s), s.fu)
-            };
-            let fu_idx = fu as usize;
-            let fu_cap = match fu {
-                Fu::IntAlu => self.config.int_alus,
-                Fu::FpAlu => self.config.fp_alus,
-                Fu::IntMulDiv => self.config.int_mul_div,
-                Fu::FpMulDiv => self.config.fp_mul_div,
-            };
-            if ready && self.fu_used[fu_idx] < fu_cap {
-                self.fu_used[fu_idx] += 1;
-                issued += 1;
-                let now = self.cycle;
-                let s = self.slot_mut(seq);
-                s.issued = true;
-                if s.mem == MemPhase::WaitAgen {
-                    // Address generation completes next cycle; the memory
-                    // stage takes over.
-                    s.agen_done_at = now + s.latency;
-                    s.complete_at = NO_CYCLE;
-                } else {
-                    s.complete_at = now + s.latency;
+        for &seq in &cand {
+            let i = self.rob.idx(seq);
+            debug_assert_eq!(self.rob.unknown_deps[i], 0);
+            debug_assert!(self.rob.earliest_try[i] <= cycle);
+            if issued < width {
+                let fu = self.rob.fu[i];
+                let ready = self.rob.dispatch_cycle[i] < cycle && self.deps_ready(i);
+                let fu_idx = fu as usize;
+                let fu_cap = match fu {
+                    Fu::IntAlu => self.config.int_alus,
+                    Fu::FpAlu => self.config.fp_alus,
+                    Fu::IntMulDiv => self.config.int_mul_div,
+                    Fu::FpMulDiv => self.config.fp_mul_div,
+                };
+                if ready && self.fu_used[fu_idx] < fu_cap {
+                    self.fu_used[fu_idx] += 1;
+                    issued += 1;
+                    let done_at = cycle + self.rob.latency[i];
+                    self.rob.set(i, F_ISSUED);
+                    self.rob.issue_q[i] = QUEUE_NONE;
+                    if self.rob.mem[i] == MemPhase::WaitAgen {
+                        // Address generation completes next cycle; the
+                        // memory stage takes over. Completion is still
+                        // unknown — consumers stay registered until the
+                        // access starts.
+                        self.rob.agen_done_at[i] = done_at;
+                        self.rob.complete_at[i] = NO_CYCLE;
+                        self.queue_mem(seq, done_at);
+                    } else {
+                        self.rob.complete_at[i] = done_at;
+                        self.fire_wakes(i, done_at);
+                    }
+                    self.sched(done_at);
+                    continue;
                 }
-                self.waiting_issue.remove(i);
-                continue;
             }
-            i += 1;
+            // Starved of width or a functional unit, or the wake bound was
+            // stale-early (a squash revoked a producer's completion):
+            // re-examine every cycle, as the legacy walk does.
+            self.rob.issue_q[i] = QUEUE_RETRY;
+            self.issue_retry.push(seq);
         }
+        self.issue_cand = cand;
         issued
     }
 
     // ---- memory stage -------------------------------------------------------
 
-    fn memory_stage(&mut self) {
+    /// Runs the memory stage; returns whether it changed any machine state
+    /// (the event core may only fast-forward cycles where it did not).
+    fn memory_stage(&mut self) -> bool {
+        let mut active = false;
         // Drain the write buffer: committed stores write the cache in the
         // background as bandwidth allows.
         while let Some(&(route, addr)) = self.write_buffer.front() {
@@ -608,72 +1078,120 @@ impl<P: Probe> TimingSim<P> {
                 break; // no MSHR for the write miss; retry next cycle
             }
             self.write_buffer.pop_front();
+            active = true;
         }
-        // Walk the ROB oldest-first; handle verification, redirects, and
-        // load access starts. (Stores access the cache at commit.)
-        let mut actions: Vec<u64> = Vec::new();
-        for s in &self.rob {
-            let actionable = (s.mem == MemPhase::WaitAgen && s.agen_done_at <= self.cycle)
-                || (s.mem == MemPhase::Ready && s.mem_ready_at <= self.cycle);
-            if actionable {
-                actions.push(s.seq);
+        let cycle = self.cycle;
+        if self.mem_retry.is_empty() && !self.mem_book.has_due(cycle) {
+            return active; // no appointment due this cycle
+        }
+        // Gather this cycle's work: due appointments (address generation
+        // done, redirect penalty served, store data arrived) plus the
+        // every-cycle retry list (ordering/port/MSHR blocked). Stale book
+        // copies drop out; the survivors are processed oldest-first,
+        // exactly the program-order walk the legacy core does. (Stores
+        // access the cache at commit.)
+        let mut actions = std::mem::take(&mut self.mem_scratch);
+        actions.clear();
+        let mut due = std::mem::take(&mut self.due_scratch);
+        due.clear();
+        self.mem_book.drain_due(cycle, &mut due);
+        for &(at, seq) in &due {
+            if seq >= self.rob.head_seq && self.rob.mem_q[self.rob.idx(seq)] == at {
+                actions.push(seq);
             }
         }
-        for seq in actions {
+        self.due_scratch = due;
+        for n in 0..self.mem_retry.len() {
+            let seq = self.mem_retry[n];
+            if seq >= self.rob.head_seq && self.rob.mem_q[self.rob.idx(seq)] == QUEUE_RETRY {
+                actions.push(seq);
+            }
+        }
+        self.mem_retry.clear();
+        actions.sort_unstable();
+        actions.dedup();
+        for &seq in &actions {
+            let i = self.rob.idx(seq);
             // 1. Verification (TLB stack-bit check) the cycle address
-            //    generation finishes.
-            let needs_verify = {
-                let s = self.slot(seq);
-                // (A squash may have reset a later action candidate back to
-                // pre-agen state mid-walk; re-check the agen time.)
-                s.mem == MemPhase::WaitAgen
-                    && !s.verified
-                    && s.agen_done_at != NO_CYCLE
-                    && s.agen_done_at <= self.cycle
-            };
-            if needs_verify {
-                self.verify_region(seq);
-                continue; // access may start next cycle at the earliest
-            }
-            let (is_load, ready_at, complete, phase) = {
-                let s = self.slot(seq);
-                (s.is_load, s.mem_ready_at, s.complete_at, s.mem)
-            };
-            // A squash earlier in this same pass may have reset this
-            // action candidate; only Ready slots proceed.
-            if phase != MemPhase::Ready || ready_at > self.cycle {
+            //    generation finishes. (A squash may have reset a later
+            //    action candidate back to pre-agen state mid-pass — its
+            //    appointment book slot was rewritten, so leave it alone.)
+            if self.rob.mem[i] == MemPhase::WaitAgen {
+                let needs_verify = !self.rob.has(i, F_VERIFIED)
+                    && self.rob.agen_done_at[i] != NO_CYCLE
+                    && self.rob.agen_done_at[i] <= cycle;
+                if needs_verify {
+                    if self.verify_region(seq) {
+                        active = true;
+                        // Now Ready; access may start the next cycle at
+                        // the earliest (later after a redirect penalty).
+                        let at = self.rob.mem_ready_at[i].max(cycle + 1);
+                        self.queue_mem(seq, at);
+                    } else {
+                        // Redirect target queue full: retry every cycle.
+                        self.rob.mem_q[i] = QUEUE_RETRY;
+                        self.mem_retry.push(seq);
+                    }
+                }
                 continue;
             }
-            if is_load {
-                self.try_start_load(seq);
-            } else if complete == NO_CYCLE {
-                // Store: becomes commit-eligible once its data arrives.
-                let data_ready = match self.slot(seq).data_dep {
-                    None => 0,
-                    Some(dep) => self.producer_ready_at(dep),
-                };
-                if data_ready != NO_CYCLE && data_ready <= self.cycle {
-                    let now = self.cycle;
-                    self.slot_mut(seq).complete_at = now;
+            // A squash earlier in this same pass may have reset this
+            // action candidate; only due Ready slots proceed.
+            if self.rob.mem[i] != MemPhase::Ready || self.rob.mem_ready_at[i] > cycle {
+                continue;
+            }
+            if self.rob.has(i, F_IS_LOAD) {
+                if self.try_start_load(seq) {
+                    active = true;
+                    self.rob.mem_q[i] = QUEUE_NONE; // access in flight
+                } else {
+                    // Ordering, port, or MSHR blocked: retry every cycle.
+                    self.rob.mem_q[i] = QUEUE_RETRY;
+                    self.mem_retry.push(seq);
                 }
+            } else if self.rob.complete_at[i] == NO_CYCLE {
+                // Store: becomes commit-eligible once its data arrives.
+                let data_ready = match self.rob.data_dep[i] {
+                    NO_SEQ => 0,
+                    dep => self.producer_ready_at(dep),
+                };
+                if data_ready != NO_CYCLE && data_ready <= cycle {
+                    self.rob.complete_at[i] = cycle;
+                    active = true;
+                    self.rob.mem_q[i] = QUEUE_NONE; // commit takes over
+                } else if data_ready != NO_CYCLE {
+                    // Arrival cycle already known: book it.
+                    self.queue_mem(seq, data_ready);
+                } else {
+                    // Unknown: park on the data producer's wake list. The
+                    // F_DATA_WAKE guard keeps one live registration across
+                    // squash-and-replay.
+                    self.rob.mem_q[i] = QUEUE_NONE;
+                    if !self.rob.has(i, F_DATA_WAKE) {
+                        let p = self.rob.idx(self.rob.data_dep[i]);
+                        self.rob.wake_next[i][3] = self.rob.wake_head[p];
+                        self.rob.wake_head[p] = (seq << 2) | 3;
+                        self.rob.set(i, F_DATA_WAKE);
+                    }
+                }
+            } else {
+                self.rob.mem_q[i] = QUEUE_NONE; // completed store
             }
         }
+        self.mem_scratch = actions;
+        active
     }
 
     /// The TLB region check: reroute and retrain on a wrong prediction.
-    fn verify_region(&mut self, seq: u64) {
-        let (route, is_stack, is_load, arpt_predicted, pc, ghr, ra) = {
-            let s = self.slot(seq);
-            (
-                s.route,
-                s.is_stack,
-                s.is_load,
-                s.arpt_predicted,
-                s.pc,
-                s.ghr,
-                s.ra,
-            )
-        };
+    /// Returns whether any state changed (false only when the correct
+    /// target queue is full and verification must retry next cycle).
+    fn verify_region(&mut self, seq: u64) -> bool {
+        let i = self.rob.idx(seq);
+        let route = self.rob.route[i];
+        let is_stack = self.rob.has(i, F_IS_STACK);
+        let is_load = self.rob.has(i, F_IS_LOAD);
+        let arpt_predicted = self.rob.has(i, F_ARPT_PRED);
+        let (pc, ghr, ra) = (self.rob.pc[i], self.rob.ghr[i], self.rob.ra[i]);
         let decoupled = self.config.is_decoupled();
         let correct_route = if decoupled && is_stack {
             Route::Lvc
@@ -692,7 +1210,7 @@ impl<P: Probe> TimingSim<P> {
             };
             if !space {
                 // Target queue full; retry verification next cycle.
-                return;
+                return false;
             }
             self.stats.region_checks += 1;
             self.stats.region_mispredicts += 1;
@@ -716,15 +1234,15 @@ impl<P: Probe> TimingSim<P> {
                 let insert_at = to.iter().position(|&s| s > seq).unwrap_or(to.len());
                 to.insert(insert_at, seq);
             }
-            let s = self.slot_mut(seq);
-            s.route = correct_route;
-            s.verified = true;
-            s.mem = MemPhase::Ready;
+            self.rob.route[i] = correct_route;
+            self.rob.set(i, F_VERIFIED);
+            self.rob.mem[i] = MemPhase::Ready;
             // Detected and re-dispatched on the correct path; commit
             // counts the completed recovery.
-            s.recovered = true;
+            self.rob.set(i, F_RECOVERED);
             // Detection this cycle; re-issue `penalty` cycles later.
-            s.mem_ready_at = now + 1 + penalty;
+            self.rob.mem_ready_at[i] = now + 1 + penalty;
+            self.sched(now + 1 + penalty);
             if self.config.recovery == RecoveryMode::Squash {
                 self.squash_younger(seq, now + 1 + penalty);
             }
@@ -732,115 +1250,141 @@ impl<P: Probe> TimingSim<P> {
             if decoupled {
                 self.stats.region_checks += 1;
             }
-            let s = self.slot_mut(seq);
-            s.verified = true;
-            s.mem = MemPhase::Ready;
-            s.mem_ready_at = now;
+            self.rob.set(i, F_VERIFIED);
+            self.rob.mem[i] = MemPhase::Ready;
+            self.rob.mem_ready_at[i] = now;
         }
         // Train the ARPT on dynamic (unrevealed) instructions only; the
         // statically revealed ones are never recorded in it.
         if decoupled && arpt_predicted {
             self.arpt.update(pc, ghr, ra, is_stack);
         }
+        true
     }
 
     /// Attempts to begin a load's cache access (ordering + forwarding +
-    /// ports).
-    fn try_start_load(&mut self, seq: u64) {
-        let (route, addr, _now) = {
-            let s = self.slot(seq);
-            (s.route, s.addr, self.cycle)
-        };
+    /// ports); returns whether the access (or forwarding) started.
+    fn try_start_load(&mut self, seq: u64) -> bool {
+        let i = self.rob.idx(seq);
+        let route = self.rob.route[i];
+        let addr = self.rob.addr[i];
         let block = addr & !7;
         // Ordering against older stores in the same queue.
         let stores = match route {
             Route::Lvc => &self.lvaq_stores,
             Route::DataCache => &self.lsq_stores,
         };
-        let mut forward_ready: Option<u64> = None;
+        let mut forward_ready = false;
         for &st_seq in stores.iter() {
             if st_seq >= seq {
                 break;
             }
-            let st = self.slot(st_seq);
-            let addr_known = st.agen_done_at != NO_CYCLE && st.agen_done_at <= self.cycle;
-            let data_ready = st.complete_at != NO_CYCLE && st.complete_at <= self.cycle;
+            let j = self.rob.idx(st_seq);
+            let agen = self.rob.agen_done_at[j];
+            let complete = self.rob.complete_at[j];
+            let addr_known = agen != NO_CYCLE && agen <= self.cycle;
+            let data_ready = complete != NO_CYCLE && complete <= self.cycle;
             match route {
                 Route::DataCache => {
                     // Conservative LSQ: every older store's address must be
                     // known before a load may proceed.
                     if !addr_known {
-                        return;
+                        return false;
                     }
-                    if st.addr & !7 == block {
+                    if self.rob.addr[j] & !7 == block {
                         if !data_ready {
-                            return; // matching store's data not produced yet
+                            return false; // matching store's data not produced yet
                         }
-                        forward_ready = Some(st.complete_at);
+                        forward_ready = true;
                     }
                 }
                 Route::Lvc => {
                     // Fast forwarding: frame offsets identify the match
                     // before address generation; unknown stores do not
                     // block unless they match.
-                    if st.addr & !7 == block {
+                    if self.rob.addr[j] & !7 == block {
                         if !data_ready {
-                            return; // matching store's data not ready yet
+                            return false; // matching store's data not ready yet
                         }
-                        forward_ready = Some(st.complete_at);
+                        forward_ready = true;
                     }
                 }
             }
         }
-        if let Some(_ready) = forward_ready {
+        if forward_ready {
             // Store-to-load forwarding: 1 cycle, no cache port.
             match route {
                 Route::Lvc => self.stats.lvaq_forwards += 1,
                 Route::DataCache => self.stats.lsq_forwards += 1,
             }
-            let now = self.cycle;
-            let s = self.slot_mut(seq);
-            s.mem = MemPhase::Accessed;
-            s.complete_at = now + 1;
-            return;
+            let done_at = self.cycle + 1;
+            self.rob.mem[i] = MemPhase::Accessed;
+            self.rob.complete_at[i] = done_at;
+            self.fire_wakes(i, done_at);
+            self.sched(done_at);
+            return true;
         }
         if !self.mem.port_available(route, addr) {
-            return; // bandwidth contention — retry next cycle
+            return false; // bandwidth contention — retry next cycle
         }
         let Some(latency) = self.mem.access(route, addr) else {
-            return; // miss with no free MSHR — retry next cycle
+            return false; // miss with no free MSHR — retry next cycle
         };
-        let now = self.cycle;
-        let s = self.slot_mut(seq);
-        s.mem = MemPhase::Accessed;
-        s.complete_at = now + latency;
+        let done_at = self.cycle + latency;
+        self.rob.mem[i] = MemPhase::Accessed;
+        self.rob.complete_at[i] = done_at;
+        self.fire_wakes(i, done_at);
+        self.sched(done_at);
+        true
     }
 
     /// Branch-style recovery: every instruction younger than `seq` loses
     /// its issue and replays no earlier than `reissue_at` (its memory
     /// access, if any, restarts from address generation).
     fn squash_younger(&mut self, seq: u64, reissue_at: u64) {
-        let mut requeue: Vec<u64> = Vec::new();
-        for s in self.rob.iter_mut().filter(|s| s.seq > seq) {
+        let floor = reissue_at.saturating_add(1);
+        for k in 0..self.rob.len {
+            let s_seq = self.rob.head_seq + k as u64;
+            if s_seq <= seq {
+                continue;
+            }
+            let i = self.rob.phys(k);
             // Model the replay by pushing the apparent dispatch time out:
             // issue requires dispatch_cycle < cycle.
-            s.dispatch_cycle = s.dispatch_cycle.max(reissue_at);
-            if s.issued {
-                s.issued = false;
-                requeue.push(s.seq);
+            self.rob.dispatch_cycle[i] = self.rob.dispatch_cycle[i].max(reissue_at);
+            // The cached issue bound is invalid in *both* directions after
+            // a squash: revoked completions make it stale-early (harmless),
+            // but a replayed producer may also re-complete *earlier* than
+            // the completion this slot cached at dispatch, so keeping the
+            // old maximum could delay issue past the legacy core. Reset to
+            // the reissue horizon — the one bound squash itself guarantees
+            // (issue needs cycle > dispatch_cycle >= reissue_at).
+            self.rob.earliest_try[i] = floor;
+            self.rob.clear(i, F_ISSUED);
+            self.rob.complete_at[i] = NO_CYCLE;
+            // Re-book the issue appointment at the horizon; from there the
+            // retry path re-examines it every cycle exactly as the legacy
+            // walk would. Slots still awaiting a producer wake stay parked
+            // (their registrations survive the squash — the producer must
+            // still complete before it can commit).
+            if self.rob.unknown_deps[i] == 0 {
+                self.queue_issue(s_seq, floor);
+            } else {
+                self.rob.issue_q[i] = QUEUE_NONE;
             }
-            s.complete_at = NO_CYCLE;
-            if s.mem != MemPhase::None {
-                s.mem = MemPhase::WaitAgen;
-                s.agen_done_at = NO_CYCLE;
-                s.verified = false;
-                s.mem_ready_at = 0;
+            if self.rob.mem[i] != MemPhase::None {
+                // Memory references restart from address generation; the
+                // replayed issue books the next memory appointment.
+                self.rob.mem[i] = MemPhase::WaitAgen;
+                self.rob.agen_done_at[i] = NO_CYCLE;
+                self.rob.clear(i, F_VERIFIED);
+                self.rob.mem_ready_at[i] = 0;
+                self.rob.mem_q[i] = QUEUE_NONE;
             }
         }
-        if !requeue.is_empty() {
-            self.waiting_issue.extend(requeue);
-            self.waiting_issue.make_contiguous().sort_unstable();
-        }
+        // Squashed slots become issue-eligible again the cycle after their
+        // pushed-out dispatch time.
+        self.sched(floor);
     }
 
     // ---- commit -------------------------------------------------------------
@@ -848,20 +1392,23 @@ impl<P: Probe> TimingSim<P> {
     fn commit_stage(&mut self) -> usize {
         let mut committed = 0;
         while committed < self.config.issue_width {
-            let Some(head) = self.rob.front() else { break };
-            let is_mem = head.mem != MemPhase::None;
-            let is_load = head.is_load;
-            let route = head.route;
-            let addr = head.addr;
-            let seq = head.seq;
-            let recovered = head.recovered;
-            let done = match head.mem {
+            if self.rob.len == 0 {
+                break;
+            }
+            let i = self.rob.head;
+            let phase = self.rob.mem[i];
+            let is_mem = phase != MemPhase::None;
+            let is_load = self.rob.has(i, F_IS_LOAD);
+            let route = self.rob.route[i];
+            let addr = self.rob.addr[i];
+            let seq = self.rob.head_seq;
+            let recovered = self.rob.has(i, F_RECOVERED);
+            let complete = self.rob.complete_at[i];
+            let done = match phase {
                 MemPhase::None | MemPhase::Accessed => {
-                    head.complete_at != NO_CYCLE && head.complete_at <= self.cycle
+                    complete != NO_CYCLE && complete <= self.cycle
                 }
-                MemPhase::Ready if !is_load => {
-                    head.complete_at != NO_CYCLE && head.complete_at <= self.cycle
-                }
+                MemPhase::Ready if !is_load => complete != NO_CYCLE && complete <= self.cycle,
                 _ => false,
             };
             if !done {
@@ -898,17 +1445,19 @@ impl<P: Probe> TimingSim<P> {
                         }
                     }
                 }
+                // A store committing straight out of Ready leaves the
+                // memory stage lazily (any appointment-book copy is
+                // dropped once `seq` falls behind `head_seq`).
             }
-            for r in self.reg_producer.iter_mut() {
-                if *r == Some(seq) {
-                    *r = None;
+            for &r in &self.rob.claimed[i] {
+                if r != NO_REG && self.reg_producer[r as usize] == seq {
+                    self.reg_producer[r as usize] = NO_SEQ;
                 }
             }
             if recovered {
                 self.stats.recoveries += 1;
             }
             self.rob.pop_front();
-            self.head_seq += 1;
             committed += 1;
         }
         committed
@@ -921,19 +1470,25 @@ impl<P: Probe> TimingSim<P> {
     /// waits on. Called after [`Self::memory_stage`] (so bandwidth denials
     /// reflect this cycle's claims) and before [`Self::issue_stage`];
     /// purely observational.
+    ///
+    /// Every branch below compares a per-slot threshold (or port/MSHR
+    /// state) against the current cycle, and all such flip points are
+    /// scheduled events — which is why the cause is constant across a
+    /// fast-forwarded span and can be bulk-replayed.
     fn stall_cause(&self) -> StallCause {
-        let Some(head) = self.rob.front() else {
+        if self.rob.len == 0 {
             // Nothing in flight at all: the source ran dry (end of program
             // drain, or the first cycle before anything dispatched).
             return StallCause::FetchDry;
-        };
-        match head.mem {
+        }
+        let i = self.rob.head;
+        match self.rob.mem[i] {
             MemPhase::None | MemPhase::WaitAgen => {
-                if head.issued {
+                if self.rob.has(i, F_ISSUED) {
                     // Result (or address generation) still in the FU
                     // pipeline.
                     StallCause::ExecLatency
-                } else if self.rob.len() >= self.config.rob_size {
+                } else if self.rob.len >= self.config.rob_size {
                     StallCause::RobFull
                 } else {
                     // The head's deps are committed by construction, so an
@@ -944,12 +1499,14 @@ impl<P: Probe> TimingSim<P> {
             }
             MemPhase::Accessed => StallCause::MemLatency,
             MemPhase::Ready => {
-                if head.mem_ready_at > self.cycle {
+                if self.rob.mem_ready_at[i] > self.cycle {
                     // Serving the region-misprediction redirect penalty.
                     StallCause::ArptRedirect
-                } else if head.is_load {
-                    self.load_block_cause(head)
-                } else if head.complete_at != NO_CYCLE && head.complete_at <= self.cycle {
+                } else if self.rob.has(i, F_IS_LOAD) {
+                    self.load_block_cause(i)
+                } else if self.rob.complete_at[i] != NO_CYCLE
+                    && self.rob.complete_at[i] <= self.cycle
+                {
                     // Store is done but commit_stage broke on it: the write
                     // buffer is full and the cache denied the write (port
                     // or MSHR).
@@ -964,24 +1521,30 @@ impl<P: Probe> TimingSim<P> {
 
     /// Why a Ready head load has not started its access: mirrors the
     /// checks of [`Self::try_start_load`] read-only, in the same order.
-    fn load_block_cause(&self, head: &Slot) -> StallCause {
-        let block = head.addr & !7;
-        let stores = match head.route {
+    /// `i` is the head's physical index.
+    fn load_block_cause(&self, i: usize) -> StallCause {
+        let seq = self.rob.head_seq;
+        let addr = self.rob.addr[i];
+        let route = self.rob.route[i];
+        let block = addr & !7;
+        let stores = match route {
             Route::Lvc => &self.lvaq_stores,
             Route::DataCache => &self.lsq_stores,
         };
         let mut forwards = false;
         for &st_seq in stores.iter() {
-            if st_seq >= head.seq {
+            if st_seq >= seq {
                 break;
             }
-            let st = self.slot(st_seq);
-            let addr_known = st.agen_done_at != NO_CYCLE && st.agen_done_at <= self.cycle;
-            let data_ready = st.complete_at != NO_CYCLE && st.complete_at <= self.cycle;
-            if head.route == Route::DataCache && !addr_known {
+            let j = self.rob.idx(st_seq);
+            let agen = self.rob.agen_done_at[j];
+            let complete = self.rob.complete_at[j];
+            let addr_known = agen != NO_CYCLE && agen <= self.cycle;
+            let data_ready = complete != NO_CYCLE && complete <= self.cycle;
+            if route == Route::DataCache && !addr_known {
                 return StallCause::StoreOrdering;
             }
-            if st.addr & !7 == block {
+            if self.rob.addr[j] & !7 == block {
                 if !data_ready {
                     return StallCause::StoreOrdering;
                 }
@@ -992,9 +1555,7 @@ impl<P: Probe> TimingSim<P> {
             // Forwarding needs no port; the load completes next cycle.
             return StallCause::MemLatency;
         }
-        if !self.mem.port_available(head.route, head.addr)
-            || self.mem.mshr_would_block(head.route, head.addr)
-        {
+        if !self.mem.port_available(route, addr) || self.mem.mshr_would_block(route, addr) {
             return StallCause::MemPort;
         }
         // The access starts this cycle; what remains is pure latency.

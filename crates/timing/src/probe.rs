@@ -126,6 +126,18 @@ pub trait Probe {
 
     /// Called once per simulated cycle (only when `ENABLED`).
     fn record(&mut self, obs: &CycleObs);
+
+    /// Called when the event-driven core fast-forwards over `span` cycles
+    /// that are provably identical to the one described by `obs`. The
+    /// default replays them one by one, so every probe stays correct; a
+    /// probe with order-independent accumulators (the [`Recorder`]) can
+    /// override this with an O(1) bulk update that is bit-identical to
+    /// the sequential replay.
+    fn record_span(&mut self, obs: &CycleObs, span: u64) {
+        for _ in 0..span {
+            self.record(obs);
+        }
+    }
 }
 
 /// The zero-cost default probe: nothing is gathered, nothing is recorded.
@@ -259,18 +271,26 @@ impl Probe for Recorder {
     const ENABLED: bool = true;
 
     fn record(&mut self, obs: &CycleObs) {
-        self.cycles += 1;
+        self.record_span(obs, 1);
+    }
+
+    /// Every accumulator is an exact integer (the histograms compute their
+    /// moments on demand from exact sums), so one bulk add of `span`
+    /// identical cycles is bit-identical to `span` sequential records —
+    /// the property the event-driven core's differential suite pins down.
+    fn record_span(&mut self, obs: &CycleObs, span: u64) {
+        self.cycles += span;
         match obs.stall {
-            None => self.useful_cycles += 1,
-            Some(cause) => self.stalls[cause.index()] += 1,
+            None => self.useful_cycles += span,
+            Some(cause) => self.stalls[cause.index()] += span,
         }
-        self.rob_occupancy.record(obs.rob_occupancy);
-        self.issue_util.record(obs.issued);
-        self.commit_util.record(obs.committed);
-        self.lsq_depth.record(obs.lsq_depth);
-        self.lvaq_depth.record(obs.lvaq_depth);
-        self.dcache_claims.record(obs.dcache_claims);
-        self.lvc_claims.record(obs.lvc_claims);
+        self.rob_occupancy.record_n(obs.rob_occupancy, span);
+        self.issue_util.record_n(obs.issued, span);
+        self.commit_util.record_n(obs.committed, span);
+        self.lsq_depth.record_n(obs.lsq_depth, span);
+        self.lvaq_depth.record_n(obs.lvaq_depth, span);
+        self.dcache_claims.record_n(obs.dcache_claims, span);
+        self.lvc_claims.record_n(obs.lvc_claims, span);
     }
 }
 

@@ -1,0 +1,168 @@
+//! Property tests for the event wheel and the probe's span replay — the
+//! two mechanisms the event-driven core's bit-identity rests on.
+//!
+//! * The wheel may never *lose* a future event (fast-forwarding past one
+//!   would make the core sleep through a state change), and may never
+//!   surface an event at or before its horizon (an event "in the past"
+//!   would make the core re-execute a cycle it already finished).
+//! * A fast-forwarded span replayed into the probe via `record_span` must
+//!   be indistinguishable from having recorded each skipped cycle
+//!   individually — including the stall-attribution conservation identity
+//!   `useful + Σ stalls == cycles`.
+
+#![cfg(feature = "proptest-tests")]
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use arl_timing::{CycleObs, EventWheel, Probe, Recorder, StallCause};
+use proptest::prelude::*;
+
+/// One random wheel interaction.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    /// Schedule an event at an absolute cycle.
+    Schedule(u64),
+    /// Advance the horizon forward by this many cycles.
+    Advance(u64),
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..500).prop_map(Op::Schedule),
+        (0u64..40).prop_map(Op::Advance),
+    ]
+}
+
+/// Reference model: a plain sorted multiset of scheduled cycles plus the
+/// same horizon rule, kept deliberately naive.
+#[derive(Default)]
+struct ModelWheel {
+    pending: Vec<u64>,
+    horizon: u64,
+}
+
+impl ModelWheel {
+    fn schedule(&mut self, at: u64) {
+        if at > self.horizon && at != u64::MAX {
+            self.pending.push(at);
+        }
+    }
+
+    fn advance_to(&mut self, now: u64) {
+        if now > self.horizon {
+            self.horizon = now;
+        }
+        self.pending.retain(|&at| at > self.horizon);
+    }
+
+    fn upcoming(&self) -> Option<u64> {
+        self.pending.iter().copied().min()
+    }
+}
+
+fn stall_for(index: usize) -> Option<StallCause> {
+    if index == 0 {
+        None
+    } else {
+        Some(StallCause::ALL[(index - 1) % StallCause::ALL.len()])
+    }
+}
+
+fn obs_from(seed: (usize, usize, usize, usize, usize, usize)) -> CycleObs {
+    let (rob, issued, lsq, lvaq, claims, stall) = seed;
+    CycleObs {
+        rob_occupancy: rob,
+        issued,
+        committed: usize::from(stall == 0),
+        lsq_depth: lsq,
+        lvaq_depth: lvaq,
+        dcache_claims: claims,
+        lvc_claims: claims / 2,
+        stall: stall_for(stall),
+    }
+}
+
+fn obs_seed() -> impl Strategy<Value = (usize, usize, usize, usize, usize, usize)> {
+    (
+        0usize..128,
+        0usize..16,
+        0usize..32,
+        0usize..32,
+        0usize..6,
+        0usize..9,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The wheel tracks the reference model exactly: after any operation
+    /// sequence, `upcoming()` is the true minimum pending future event —
+    /// so fast-forwarding to `upcoming()` can never skip past an event.
+    #[test]
+    fn wheel_never_loses_or_reorders_events(ops in proptest::collection::vec(op(), 1..80)) {
+        let mut wheel = EventWheel::new();
+        let mut model = ModelWheel::default();
+        for o in ops {
+            match o {
+                Op::Schedule(at) => {
+                    wheel.schedule(at);
+                    model.schedule(at);
+                }
+                Op::Advance(delta) => {
+                    let now = model.horizon.saturating_add(delta);
+                    wheel.advance_to(now);
+                    model.advance_to(now);
+                }
+            }
+            prop_assert_eq!(wheel.upcoming(), model.upcoming());
+            prop_assert_eq!(wheel.horizon(), model.horizon);
+            if let Some(next) = wheel.upcoming() {
+                prop_assert!(next > wheel.horizon(), "event at or before the horizon");
+            }
+        }
+    }
+
+    /// Events scheduled at or before the horizon are dropped and can never
+    /// surface later, even after further advances.
+    #[test]
+    fn wheel_never_schedules_into_the_past(
+        horizon in 1u64..1000,
+        offsets in proptest::collection::vec(0u64..50, 1..20),
+    ) {
+        let mut wheel = EventWheel::new();
+        wheel.advance_to(horizon);
+        for off in offsets {
+            wheel.schedule(horizon - off.min(horizon));
+        }
+        prop_assert_eq!(wheel.upcoming(), None);
+        wheel.advance_to(horizon + 1_000);
+        prop_assert_eq!(wheel.upcoming(), None);
+        prop_assert!(wheel.is_empty());
+    }
+
+    /// `record_span(obs, n)` is indistinguishable from `n` individual
+    /// `record(obs)` calls — counters, histograms, and the rendered JSON —
+    /// and the conservation identity survives the replay.
+    #[test]
+    fn span_replay_conserves_attribution(
+        spans in proptest::collection::vec((obs_seed(), 1u64..200), 1..30),
+    ) {
+        let mut bulk = Recorder::new();
+        let mut naive = Recorder::new();
+        for (seed, span) in spans {
+            let obs = obs_from(seed);
+            bulk.record_span(&obs, span);
+            for _ in 0..span {
+                naive.record(&obs);
+            }
+        }
+        prop_assert_eq!(bulk.cycles(), naive.cycles());
+        prop_assert_eq!(bulk.useful_cycles(), naive.useful_cycles());
+        for &cause in StallCause::ALL.iter() {
+            prop_assert_eq!(bulk.stall_cycles(cause), naive.stall_cycles(cause));
+        }
+        let attributed: u64 = StallCause::ALL.iter().map(|&c| bulk.stall_cycles(c)).sum();
+        prop_assert_eq!(bulk.useful_cycles() + attributed, bulk.cycles());
+        prop_assert_eq!(bulk.to_json().render(), naive.to_json().render());
+    }
+}

@@ -185,7 +185,7 @@ fn stall_attribution_accounts_for_every_cycle() {
                 config.name
             );
             assert_eq!(
-                rec.commit_util().moments().count(),
+                rec.commit_util().total(),
                 stats.cycles,
                 "{name} on {}: one histogram sample per cycle",
                 config.name
