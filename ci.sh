@@ -49,14 +49,36 @@ ARL_SCALE=tiny ARL_FAULT=all:42:2 \
     cargo run --quiet --release -p arl-bench --bin fault_campaign > /dev/null
 diff "$smoke_dir/full/BENCH_faults.json" "$smoke_dir/resumed/BENCH_faults.json"
 
+echo "==> snapshot-shard smoke gate (ARL_SHARD=3, stitched vs serial)"
+# One workload, three chained shard jobs over trace snapshots, plus an
+# interrupt/resume cycle against a ledger: the stitched stats must be
+# bit-identical to the serial replay (the binary exits non-zero and the
+# JSON records identical:false on any divergence).
+ARL_SCALE=tiny ARL_SHARD=3 ARL_SNAPSHOT_INTERVAL=5000 \
+    ARL_SHARD_WORKLOAD=gcc ARL_CHECKPOINT="$smoke_dir/shard.ckpt" \
+    ARL_JSON="$smoke_dir" \
+    cargo run --quiet --release -p arl-bench --bin bench_shard
+test -s "$smoke_dir/BENCH_shard.json"
+grep -q '"identical":true' "$smoke_dir/BENCH_shard.json"
+
 echo "==> replay-speed regression gate (subset vs committed BENCH_speed.json)"
-# Re-time a fixed three-workload subset on the event core only and fail
-# if any falls below ARL_SPEED_MIN_RATIO (default 0.8) of the committed
-# baseline throughput. Absolute wall-clock gates are noisy; the 20%
-# slack plus best-of-2 reps keeps this stable on shared machines while
-# still catching order-of-magnitude regressions in the hot loop.
-ARL_SPEED_WORKLOADS=compress,go,tomcatv ARL_SPEED_LEGACY=0 \
-    ARL_SPEED_BASELINE=BENCH_speed.json ARL_JSON="$smoke_dir" \
-    cargo run --quiet --release -p arl-bench --bin bench_speed
+# Re-time a fixed three-workload subset on BOTH cores and fail if any
+# event-over-legacy speedup falls below ARL_SPEED_MIN_RATIO (default
+# 0.8) of the committed baseline's speedup. Absolute throughput on a
+# shared machine swings ±30% with background load, so the gate compares
+# the same-run speedup ratio (both cores see the same load and it
+# cancels); a retry absorbs a load spike landing inside one core's
+# timing window but not the other's.
+speed_ok=0
+for attempt in 1 2 3; do
+    if ARL_SPEED_WORKLOADS=compress,go,tomcatv \
+        ARL_SPEED_BASELINE=BENCH_speed.json ARL_JSON="$smoke_dir" \
+        cargo run --quiet --release -p arl-bench --bin bench_speed; then
+        speed_ok=1
+        break
+    fi
+    echo "speed gate attempt $attempt failed; retrying" >&2
+done
+test "$speed_ok" = 1
 
 echo "CI OK"

@@ -26,8 +26,9 @@ use crate::runner::{
     PROBE_SCHEMA,
 };
 use crate::{
-    capture_trace, capture_trace_with, evaluate_program, evaluate_trace, fmt_millions, fmt_pct,
-    profile_workload, scale_from_env, timing_trace, timing_trace_probed, EvalReport, ProfileReport,
+    capture_trace, capture_trace_snapshotted, capture_trace_with, evaluate_program, evaluate_trace,
+    fmt_millions, fmt_pct, profile_workload, scale_from_env, timing_trace, timing_trace_probed,
+    EvalReport, ProfileReport,
 };
 
 /// How experiments obtain each workload's dynamic instruction stream.
@@ -78,6 +79,14 @@ pub struct ExperimentOptions {
     /// `BENCH_<experiment>_probe.json` document (`ARL_PROBE=1`). Rendered
     /// tables and `SimStats` are byte-identical either way.
     pub probe: bool,
+    /// Shard jobs per timing replay cell (`ARL_SHARD`; default 1 =
+    /// unsharded). With more than one, captures embed snapshot records and
+    /// every timing replay runs as a chain of shard segments — rendered
+    /// tables and `SimStats` are byte-identical either way.
+    pub shards: usize,
+    /// Capture-time snapshot cadence in instructions
+    /// (`ARL_SNAPSHOT_INTERVAL`), used only when `shards > 1`.
+    pub snapshot_interval: u64,
 }
 
 impl ExperimentOptions {
@@ -89,6 +98,8 @@ impl ExperimentOptions {
             threads: threads.max(1),
             trace: TraceMode::Replay,
             probe: false,
+            shards: 1,
+            snapshot_interval: crate::shard::DEFAULT_SNAPSHOT_INTERVAL,
         }
     }
 
@@ -103,6 +114,15 @@ impl ExperimentOptions {
     /// comparisons with this).
     pub fn with_probe(mut self, probe: bool) -> ExperimentOptions {
         self.probe = probe;
+        self
+    }
+
+    /// Overrides sharding (tests drive sharded-vs-serial differential
+    /// comparisons with this). `interval` is the capture-time snapshot
+    /// cadence in instructions.
+    pub fn with_shards(mut self, shards: usize, interval: u64) -> ExperimentOptions {
+        self.shards = shards.max(1);
+        self.snapshot_interval = interval;
         self
     }
 
@@ -121,13 +141,16 @@ impl ExperimentOptions {
         }
     }
 
-    /// Reads `ARL_SCALE`, `ARL_THREADS`, `ARL_TRACE`, and `ARL_PROBE`.
+    /// Reads `ARL_SCALE`, `ARL_THREADS`, `ARL_TRACE`, `ARL_PROBE`,
+    /// `ARL_SHARD`, and `ARL_SNAPSHOT_INTERVAL`.
     pub fn from_env() -> ExperimentOptions {
         ExperimentOptions {
             scale: scale_from_env(),
             threads: Pool::from_env().threads(),
             trace: TraceMode::from_env(),
             probe: Self::probe_from_value(std::env::var("ARL_PROBE").ok().as_deref()),
+            shards: crate::shard::shard_from_env(),
+            snapshot_interval: crate::shard::snapshot_interval_from_env(),
         }
     }
 
@@ -303,7 +326,14 @@ fn capture_suite(opts: &ExperimentOptions) -> (Vec<Captured>, Vec<RunRecord>) {
         timed_record(spec.name, "capture", |record| {
             record.phase = "capture".into();
             let program = spec.build(opts.scale);
-            let trace = capture_trace(&program, spec.name);
+            // Sharded replays resume at snapshot boundaries, so the
+            // capture must embed them; unsharded runs keep the
+            // byte-identical snapshot-free container.
+            let trace = if opts.shards > 1 {
+                capture_trace_snapshotted(&program, spec.name, opts.snapshot_interval)
+            } else {
+                capture_trace(&program, spec.name)
+            };
             record.instructions = trace.metrics().instructions;
             record.peak_rss_bytes = trace.metrics().peak_rss_bytes;
             Captured {
@@ -336,15 +366,23 @@ fn group_cells<T>(
 }
 
 /// Runs one timing cell, attaching a [`Recorder`] when `probe` is set.
-/// `trace` selects replay (Some) vs live execution (None); the stats are
-/// bit-identical across all four combinations.
+/// `trace` selects replay (Some) vs live execution (None); with
+/// `shards > 1` a replay cell runs as a chain of snapshot-bounded shard
+/// segments. The stats are bit-identical across all combinations.
 fn run_timing(
     probe: bool,
+    shards: usize,
     program: &Program,
     trace: Option<&Trace>,
     name: &str,
     config: &MachineConfig,
 ) -> (SimStats, Option<Recorder>) {
+    if shards > 1 {
+        if let Some(trace) = trace {
+            let run = crate::shard::replay_sharded(program, trace, name, config, shards, probe);
+            return (run.stats, run.recorder);
+        }
+    }
     match (probe, trace) {
         (false, Some(trace)) => (timing_trace(program, trace, name, config), None),
         (true, Some(trace)) => {
@@ -386,6 +424,7 @@ fn timing_cells(
                     record.phase = "replay".into();
                     let (stats, rec) = run_timing(
                         opts.probe,
+                        opts.shards,
                         &cap.program,
                         Some(&cap.trace),
                         cap.spec.name,
@@ -411,7 +450,8 @@ fn timing_cells(
             opts.pool().map(cells, |_i, (spec, config)| {
                 timed_record(spec.name, &config.name, |record| {
                     let program = spec.build(opts.scale);
-                    let (stats, rec) = run_timing(opts.probe, &program, None, spec.name, &config);
+                    let (stats, rec) =
+                        run_timing(opts.probe, 1, &program, None, spec.name, &config);
                     timing_record(record, &stats);
                     (
                         stats,
@@ -1175,7 +1215,11 @@ pub fn probe(opts: &ExperimentOptions, name: &str) -> ExperimentRun {
             let program = spec.build(opts.scale);
             let (trace, record) = timed_record(spec.name, "capture", |record| {
                 record.phase = "capture".into();
-                let trace = capture_trace(&program, spec.name);
+                let trace = if opts.shards > 1 {
+                    capture_trace_snapshotted(&program, spec.name, opts.snapshot_interval)
+                } else {
+                    capture_trace(&program, spec.name)
+                };
                 record.instructions = trace.metrics().instructions;
                 record.peak_rss_bytes = trace.metrics().peak_rss_bytes;
                 trace
@@ -1184,8 +1228,14 @@ pub fn probe(opts: &ExperimentOptions, name: &str) -> ExperimentRun {
             opts.pool().map(configs.to_vec(), |_i, config| {
                 timed_record(spec.name, &config.name, |record| {
                     record.phase = "replay".into();
-                    let (stats, rec) =
-                        run_timing(opts.probe, &program, Some(&trace), spec.name, &config);
+                    let (stats, rec) = run_timing(
+                        opts.probe,
+                        opts.shards,
+                        &program,
+                        Some(&trace),
+                        spec.name,
+                        &config,
+                    );
                     timing_record(record, &stats);
                     (
                         stats,
@@ -1201,7 +1251,7 @@ pub fn probe(opts: &ExperimentOptions, name: &str) -> ExperimentRun {
         TraceMode::Live => opts.pool().map(configs.to_vec(), |_i, config| {
             timed_record(spec.name, &config.name, |record| {
                 let program = spec.build(opts.scale);
-                let (stats, rec) = run_timing(opts.probe, &program, None, spec.name, &config);
+                let (stats, rec) = run_timing(opts.probe, 1, &program, None, spec.name, &config);
                 timing_record(record, &stats);
                 (
                     stats,

@@ -41,7 +41,14 @@
 mod experiments;
 mod faults;
 mod runner;
+mod shard;
 mod speed;
+
+pub use shard::{
+    replay_sharded, replay_sharded_supervised, run_shard_main, shard_bench_with, shard_from_env,
+    shard_from_value, shard_plan, snapshot_interval_from_env, snapshot_interval_from_value,
+    stats_fingerprint, ShardBenchRun, ShardedReplay, DEFAULT_SNAPSHOT_INTERVAL, SHARD_SCHEMA,
+};
 
 pub use speed::{
     regressions_vs_baseline, run_speed_suite, write_speed_json, SpeedReport, SpeedRow, SPEED_SCHEMA,
@@ -213,6 +220,23 @@ pub fn capture_trace_with<F: FnMut(&TraceEntry)>(
 /// Panics if the workload fails to execute or exceeds [`INST_CAP`].
 pub fn capture_trace(program: &Program, name: &str) -> Trace {
     capture_trace_with(program, name, |_| {})
+}
+
+/// [`capture_trace`] with a snapshot record every `interval` retired
+/// instructions (0 disables snapshots), so the capture can be replayed in
+/// shard segments (`ARL_SHARD`; see [`replay_sharded`]).
+///
+/// # Panics
+///
+/// Panics if the workload fails to execute or exceeds [`INST_CAP`].
+pub fn capture_trace_snapshotted(program: &Program, name: &str, interval: u64) -> Trace {
+    let trace = arl_trace::capture_snapshotted(program, INST_CAP, interval)
+        .unwrap_or_else(|e| panic!("workload {name} failed: {e}"));
+    assert!(
+        trace.metrics().exited,
+        "workload {name} exceeded the instruction cap"
+    );
+    trace
 }
 
 /// Replays a captured trace through a predictor configuration — the

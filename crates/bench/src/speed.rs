@@ -6,7 +6,9 @@
 //! [`SPEED_SCHEMA`]). The committed copy at the repo root is the speed
 //! trajectory the ci gate holds the event core to: a run may not fall
 //! below `ARL_SPEED_MIN_RATIO` (default 0.8) of the baseline's
-//! per-workload `event_ips`.
+//! per-workload event-over-legacy `speedup` (machine-load-immune; see
+//! [`regressions_vs_baseline`]), or of the baseline `event_ips` when
+//! legacy timing was skipped.
 //!
 //! Each workload's trace is captured once and pre-decoded into a
 //! [`TraceEntry`] slice, so the measurement times the *simulator*, not
@@ -263,9 +265,17 @@ fn min_ratio() -> f64 {
         .unwrap_or(0.8)
 }
 
-/// Gates `report` against the committed baseline at `path`: every
-/// measured workload present in the baseline must reach
-/// `min_ratio × baseline event_ips`. Returns the offending rows.
+/// Gates `report` against the committed baseline at `path`. Returns the
+/// offending rows.
+///
+/// When a row timed both cores and the baseline row recorded a
+/// `speedup`, the gate compares event-over-legacy speedups: the row must
+/// reach `min_ratio × baseline speedup`. Both cores share whatever load
+/// the machine is under, so the ratio cancels it — absolute throughput
+/// on a shared box swings ±30% with background load and would gate on
+/// the weather. The absolute `event_ips` floor is kept only as a
+/// fallback for legacy-skipped runs (`ARL_SPEED_LEGACY=0`), where no
+/// same-run reference exists.
 pub fn regressions_vs_baseline(report: &SpeedReport, path: &str) -> Result<Vec<String>, String> {
     let text =
         std::fs::read_to_string(path).map_err(|e| format!("cannot read baseline {path}: {e}"))?;
@@ -285,13 +295,31 @@ pub fn regressions_vs_baseline(report: &SpeedReport, path: &str) -> Result<Vec<S
         .ok_or_else(|| format!("baseline {path} has no rows array"))?;
     let mut failures = Vec::new();
     for row in &report.rows {
-        let baseline_ips = rows.iter().find_map(|r| {
-            (r.get("workload").and_then(Json::as_str) == Some(row.workload.as_str()))
-                .then(|| r.get("event_ips").and_then(Json::as_f64))
-                .flatten()
-        });
-        let Some(baseline_ips) = baseline_ips else {
+        let baseline_row = rows
+            .iter()
+            .find(|r| r.get("workload").and_then(Json::as_str) == Some(row.workload.as_str()));
+        let Some(baseline_row) = baseline_row else {
             continue; // workload not in the baseline (e.g. different scale subset)
+        };
+        if let (Some(speedup), Some(baseline_speedup)) = (
+            row.speedup(),
+            baseline_row.get("speedup").and_then(Json::as_f64),
+        ) {
+            let floor = baseline_speedup * ratio;
+            if speedup < floor {
+                failures.push(format!(
+                    "{}: event/legacy speedup {:.2}x < {:.2}x ({}% of baseline {:.2}x)",
+                    row.workload,
+                    speedup,
+                    floor,
+                    (ratio * 100.0) as u32,
+                    baseline_speedup,
+                ));
+            }
+            continue;
+        }
+        let Some(baseline_ips) = baseline_row.get("event_ips").and_then(Json::as_f64) else {
+            continue;
         };
         let floor = baseline_ips * ratio;
         if row.event_ips < floor {
@@ -306,4 +334,80 @@ pub fn regressions_vs_baseline(report: &SpeedReport, path: &str) -> Result<Vec<S
         }
     }
     Ok(failures)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(rows: Vec<SpeedRow>) -> SpeedReport {
+        SpeedReport {
+            scale: Scale::default(),
+            config_name: "(3+3)".to_string(),
+            rows,
+        }
+    }
+
+    fn row(workload: &str, event_ips: f64, legacy_ips: Option<f64>) -> SpeedRow {
+        SpeedRow {
+            workload: workload.to_string(),
+            instructions: 1_000_000,
+            cycles: 200_000,
+            event_ips,
+            legacy_ips,
+        }
+    }
+
+    fn baseline_file(tag: &str, rows: Vec<SpeedRow>) -> std::path::PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("arl-speed-{tag}-{}.json", std::process::id()));
+        std::fs::write(&path, report(rows).to_json().render()).expect("write baseline");
+        path
+    }
+
+    #[test]
+    fn speedup_gate_is_immune_to_shared_machine_load() {
+        let baseline = baseline_file("ratio", vec![row("go", 6_000_000.0, Some(2_000_000.0))]);
+        let path = baseline.to_str().expect("utf-8 path");
+        // Same code on a box under heavy load: both cores at half
+        // throughput, so the speedup ratio is unchanged and the gate
+        // must pass even though absolute throughput is far below the
+        // 0.8 floor.
+        let loaded = report(vec![row("go", 3_000_000.0, Some(1_000_000.0))]);
+        assert_eq!(
+            regressions_vs_baseline(&loaded, path).expect("gate runs"),
+            Vec::<String>::new()
+        );
+        // A genuine hot-loop regression shows up as a speedup drop no
+        // matter the load: event core slowed, legacy untouched.
+        let regressed = report(vec![row("go", 2_000_000.0, Some(1_000_000.0))]);
+        let failures = regressions_vs_baseline(&regressed, path).expect("gate runs");
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("speedup"), "{}", failures[0]);
+        std::fs::remove_file(&baseline).ok();
+    }
+
+    #[test]
+    fn absolute_floor_applies_only_when_legacy_was_skipped() {
+        let baseline = baseline_file("floor", vec![row("go", 6_000_000.0, Some(2_000_000.0))]);
+        let path = baseline.to_str().expect("utf-8 path");
+        // Legacy skipped: no same-run reference, so the absolute
+        // event_ips floor (0.8 × 6M = 4.8M) gates.
+        let slow = report(vec![row("go", 3_000_000.0, None)]);
+        let failures = regressions_vs_baseline(&slow, path).expect("gate runs");
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("inst/s"), "{}", failures[0]);
+        let fast = report(vec![row("go", 5_000_000.0, None)]);
+        assert_eq!(
+            regressions_vs_baseline(&fast, path).expect("gate runs"),
+            Vec::<String>::new()
+        );
+        // Workloads absent from the baseline are never gated.
+        let unknown = report(vec![row("novel", 1.0, None)]);
+        assert_eq!(
+            regressions_vs_baseline(&unknown, path).expect("gate runs"),
+            Vec::<String>::new()
+        );
+        std::fs::remove_file(&baseline).ok();
+    }
 }

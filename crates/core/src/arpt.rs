@@ -230,6 +230,49 @@ impl Arpt {
         self.updates
     }
 
+    /// Overwrites the lookup/update counters (checkpoint restore).
+    pub fn set_counters(&mut self, lookups: u64, updates: u64) {
+        self.lookups = lookups;
+        self.updates = updates;
+    }
+
+    /// Snapshot of a limited table's storage for checkpointing:
+    /// `(counters, touched flags, occupied count)`. `None` for unlimited
+    /// storage.
+    pub fn export_limited(&self) -> Option<(&[u8], &[bool], usize)> {
+        match &self.storage {
+            Storage::Unlimited(_) => None,
+            Storage::Limited {
+                table,
+                touched,
+                occupied,
+            } => Some((table, touched, *occupied)),
+        }
+    }
+
+    /// Restores a limited table from a checkpoint taken with
+    /// [`Arpt::export_limited`]. Returns `false` (leaving the table
+    /// untouched) when the storage is unlimited or the lengths do not
+    /// match this table's capacity.
+    pub fn import_limited(&mut self, table: &[u8], touched: &[bool], occupied: usize) -> bool {
+        match &mut self.storage {
+            Storage::Unlimited(_) => false,
+            Storage::Limited {
+                table: cur,
+                touched: cur_touched,
+                occupied: cur_occupied,
+            } => {
+                if table.len() != cur.len() || touched.len() != cur_touched.len() {
+                    return false;
+                }
+                cur.copy_from_slice(table);
+                cur_touched.copy_from_slice(touched);
+                *cur_occupied = occupied;
+                true
+            }
+        }
+    }
+
     /// The configured context scheme.
     pub fn context(&self) -> Context {
         self.context

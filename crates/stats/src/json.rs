@@ -387,15 +387,22 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 character (input is &str, so the
-                    // bytes are valid UTF-8).
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..]).unwrap();
-                    let c = rest.chars().next().unwrap();
-                    if (c as u32) < 0x20 {
+                    // Consume the longest run of plain bytes in one step.
+                    // The run's delimiters (`"`, `\`, control bytes) are
+                    // all ASCII and never occur inside a multi-byte UTF-8
+                    // sequence, so the run slices cleanly out of the
+                    // (already valid UTF-8) input.
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' || b < 0x20 {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    if self.pos == start {
                         return Err(self.err("raw control character in string"));
                     }
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap());
                 }
             }
         }
@@ -522,5 +529,20 @@ mod tests {
         ] {
             assert!(Json::parse(bad).is_err(), "{bad:?} must not parse");
         }
+    }
+
+    #[test]
+    fn long_strings_parse_in_linear_time_with_exact_content() {
+        // Strings are consumed as byte runs between delimiters (the old
+        // char-at-a-time loop revalidated the whole tail per character,
+        // O(n²) — a multi-megabyte checkpoint blob took minutes). Pin the
+        // run logic on escapes, multi-byte characters, and delimiters.
+        let s = "plain μλti-byte → ok \"quoted\" back\\slash\nnewline\ttab".to_string()
+            + &"0123456789abcdef".repeat(64 * 1024);
+        let text = Json::from(s.clone()).render();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back.as_str(), Some(s.as_str()));
+        // Raw control bytes are still rejected, mid-run included.
+        assert!(Json::parse("\"abc\u{1}def\"").is_err());
     }
 }

@@ -3,8 +3,11 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use arl_sim::SourceError;
+
 use crate::config::{CacheConfig, MachineConfig, PortModel};
 use crate::fault::{FaultKind, TimingFault};
+use crate::state::{corrupt, StateReader, StateWriter};
 
 /// Hit/miss counters for one cache.
 #[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
@@ -116,6 +119,39 @@ impl Cache {
     pub fn config(&self) -> &CacheConfig {
         &self.config
     }
+
+    /// Serializes tags, LRU clocks and counters (sharded-replay support).
+    fn write_state(&self, w: &mut StateWriter) {
+        w.u64(self.use_clock);
+        w.u64(self.stats.hits);
+        w.u64(self.stats.misses);
+        w.u32(self.sets.len() as u32);
+        w.u32(self.config.assoc as u32);
+        for set in &self.sets {
+            for &(tag, last_use) in set {
+                w.u64(tag);
+                w.u64(last_use);
+            }
+        }
+    }
+
+    /// Restores tags, LRU clocks and counters; the geometry must match the
+    /// configuration this cache was built from.
+    fn read_state(&mut self, r: &mut StateReader) -> Result<(), SourceError> {
+        self.use_clock = r.u64()?;
+        self.stats.hits = r.u64()?;
+        self.stats.misses = r.u64()?;
+        if r.len32()? != self.sets.len() || r.len32()? != self.config.assoc {
+            return Err(corrupt("cache geometry mismatch"));
+        }
+        for set in &mut self.sets {
+            for way in set {
+                way.0 = r.u64()?;
+                way.1 = r.u64()?;
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Which first-level structure an access is routed to.
@@ -192,6 +228,30 @@ impl BandwidthState {
                 }
             }
         }
+    }
+
+    /// Serializes the per-cycle and persistent bandwidth fields. The
+    /// per-cycle ones matter because a shard boundary cuts *mid-cycle*:
+    /// claims already made in the boundary cycle must survive the handoff.
+    fn write_state(&self, w: &mut StateWriter) {
+        w.usize(self.used);
+        w.u64(self.banks_busy);
+        w.bool(self.array_used);
+        w.bool(self.buffer_used);
+        w.u64(self.buffered_line);
+        w.u64(self.conflicts);
+        w.usize(self.claims_this_cycle);
+    }
+
+    fn read_state(&mut self, r: &mut StateReader) -> Result<(), SourceError> {
+        self.used = r.usize()?;
+        self.banks_busy = r.u64()?;
+        self.array_used = r.bool()?;
+        self.buffer_used = r.bool()?;
+        self.buffered_line = r.u64()?;
+        self.conflicts = r.u64()?;
+        self.claims_this_cycle = r.usize()?;
+        Ok(())
     }
 
     /// Claims the bandwidth for an access to `addr`.
@@ -568,6 +628,76 @@ impl MemSystem {
             self.lvc_bw.as_ref().map_or(0, |bw| bw.claims_this_cycle),
         )
     }
+
+    /// Serializes the complete hierarchy state for sharded replay: clock,
+    /// cache arrays, bandwidth accounting (including the boundary cycle's
+    /// claims — the cut is mid-cycle), MSHR release heaps in a canonical
+    /// sorted form, and fault attribution. `port_faults`, latencies and
+    /// MSHR capacity are configuration, rebuilt by [`MemSystem::new`].
+    pub(crate) fn write_state(&self, w: &mut StateWriter) {
+        w.u64(self.now);
+        self.dcache.write_state(w);
+        match &self.lvc {
+            Some(lvc) => {
+                w.u8(1);
+                lvc.write_state(w);
+            }
+            None => w.u8(0),
+        }
+        self.l2.write_state(w);
+        self.dcache_bw.write_state(w);
+        match &self.lvc_bw {
+            Some(bw) => {
+                w.u8(1);
+                bw.write_state(w);
+            }
+            None => w.u8(0),
+        }
+        w.u64_list(&heap_sorted(&self.dcache_mshrs));
+        w.u64_list(&heap_sorted(&self.lvc_mshrs));
+        w.u64(self.steer_fallbacks);
+        w.u32(self.faults_triggered.len() as u32);
+        for &id in &self.faults_triggered {
+            w.u32(id);
+        }
+    }
+
+    /// Restores state serialized by [`MemSystem::write_state`] into a
+    /// hierarchy freshly built from the *same* configuration.
+    pub(crate) fn read_state(&mut self, r: &mut StateReader) -> Result<(), SourceError> {
+        self.now = r.u64()?;
+        self.dcache.read_state(r)?;
+        if r.bool()? != self.lvc.is_some() {
+            return Err(corrupt("LVC presence mismatch"));
+        }
+        if let Some(lvc) = &mut self.lvc {
+            lvc.read_state(r)?;
+        }
+        self.l2.read_state(r)?;
+        self.dcache_bw.read_state(r)?;
+        if r.bool()? != self.lvc_bw.is_some() {
+            return Err(corrupt("LVC bandwidth presence mismatch"));
+        }
+        if let Some(bw) = &mut self.lvc_bw {
+            bw.read_state(r)?;
+        }
+        self.dcache_mshrs = r.u64_list()?.into_iter().map(Reverse).collect();
+        self.lvc_mshrs = r.u64_list()?.into_iter().map(Reverse).collect();
+        self.steer_fallbacks = r.u64()?;
+        let n = r.len32()?;
+        self.faults_triggered.clear();
+        for _ in 0..n {
+            self.faults_triggered.push(r.u32()?);
+        }
+        Ok(())
+    }
+}
+
+/// A min-heap's contents as an ascending vector (canonical MSHR form).
+fn heap_sorted(heap: &BinaryHeap<Reverse<u64>>) -> Vec<u64> {
+    let mut v: Vec<u64> = heap.iter().map(|&Reverse(at)| at).collect();
+    v.sort_unstable();
+    v
 }
 
 #[cfg(test)]

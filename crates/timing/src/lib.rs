@@ -51,6 +51,7 @@ mod legacy;
 mod metrics;
 mod pipeline;
 mod probe;
+mod state;
 mod valuepred;
 mod wheel;
 
@@ -58,7 +59,7 @@ pub use cache::{Cache, CacheStats, MemSystem, Route};
 pub use config::{CacheConfig, CoreMode, MachineConfig, PortModel, RecoveryMode};
 pub use fault::{FaultKind, TimingFault};
 pub use metrics::SimStats;
-pub use pipeline::TimingSim;
+pub use pipeline::{SegmentRun, TimingSim};
 pub use probe::{CycleObs, NullProbe, Probe, Recorder, StallCause};
 pub use valuepred::StridePredictor;
 pub use wheel::EventWheel;

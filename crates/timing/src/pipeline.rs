@@ -48,6 +48,10 @@ use crate::config::{CoreMode, MachineConfig, RecoveryMode};
 use crate::fault::{FaultKind, TimingFault};
 use crate::metrics::SimStats;
 use crate::probe::{CycleObs, NullProbe, Probe, StallCause};
+use crate::state::{
+    corrupt, read_arpt, read_stats, route_from, route_tag, write_arpt, write_stats, MidCycle,
+    StateReader, StateWriter, CORE_EVENT, STATE_MAGIC, STATE_VERSION,
+};
 use crate::valuepred::StridePredictor;
 use crate::wheel::EventWheel;
 
@@ -79,6 +83,37 @@ fn classify(inst: &Inst) -> (Fu, u64) {
         // Loads/stores use an integer ALU for address generation (1 cycle);
         // the memory latency is charged separately.
         _ => (Fu::IntAlu, 1),
+    }
+}
+
+/// Serialization tag for a [`Fu`] (sharded-replay state blobs).
+fn fu_from(tag: u8) -> Result<Fu, SourceError> {
+    match tag {
+        0 => Ok(Fu::IntAlu),
+        1 => Ok(Fu::FpAlu),
+        2 => Ok(Fu::IntMulDiv),
+        3 => Ok(Fu::FpMulDiv),
+        _ => Err(corrupt("functional-unit class out of range")),
+    }
+}
+
+/// Serialization tag for a [`MemPhase`] (sharded-replay state blobs).
+fn phase_tag(phase: MemPhase) -> u8 {
+    match phase {
+        MemPhase::None => 0,
+        MemPhase::WaitAgen => 1,
+        MemPhase::Ready => 2,
+        MemPhase::Accessed => 3,
+    }
+}
+
+fn phase_from(tag: u8) -> Result<MemPhase, SourceError> {
+    match tag {
+        0 => Ok(MemPhase::None),
+        1 => Ok(MemPhase::WaitAgen),
+        2 => Ok(MemPhase::Ready),
+        3 => Ok(MemPhase::Accessed),
+        _ => Err(corrupt("memory phase out of range")),
     }
 }
 
@@ -336,6 +371,25 @@ impl Book {
     }
 }
 
+/// The outcome of replaying one shard segment through the machine model
+/// (see [`TimingSim::run_segment_probed`]).
+pub struct SegmentRun<P: Probe = NullProbe> {
+    /// Cumulative statistics from run start through the end of this
+    /// segment, presented finish-style (derived fields filled in). Because
+    /// every counter is carried across the shard boundary, the *final*
+    /// segment's stats are the whole run's stats — bit-identical to an
+    /// unsharded replay.
+    pub stats: SimStats,
+    /// Serialized machine state at the segment boundary, to be passed as
+    /// `resume` to the next shard; `None` on a final segment (the pipeline
+    /// drained and finished instead of stopping).
+    pub state: Option<Vec<u8>>,
+    /// The probe, which observed only this segment's cycles; merging the
+    /// per-segment recorders in shard order reproduces the serial run's
+    /// probe output exactly.
+    pub probe: P,
+}
+
 /// The timing simulator. Construct via [`TimingSim::run_program`] (the
 /// usual entry point) or drive [`TimingSim::run_trace`] with a
 /// pre-collected trace.
@@ -431,6 +485,22 @@ impl TimingSim {
     pub fn run_trace(entries: &[TraceEntry], config: &MachineConfig) -> SimStats {
         TimingSim::run_trace_probed(entries, config, NullProbe).0
     }
+
+    /// Replays one shard segment without a probe; see
+    /// [`TimingSim::run_segment_probed`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates source errors and rejects corrupt or mismatched resume
+    /// state as [`SourceError::Corrupt`].
+    pub fn run_segment<S: TraceSource>(
+        source: &mut S,
+        config: &MachineConfig,
+        resume: Option<&[u8]>,
+        final_segment: bool,
+    ) -> Result<SegmentRun, SourceError> {
+        TimingSim::run_segment_probed(source, config, resume, final_segment, NullProbe)
+    }
 }
 
 impl<P: Probe> TimingSim<P> {
@@ -506,34 +576,94 @@ impl<P: Probe> TimingSim<P> {
         config: &MachineConfig,
         probe: P,
     ) -> Result<(SimStats, P), SourceError> {
+        let run = TimingSim::run_segment_probed(source, config, None, true, probe)?;
+        debug_assert!(run.state.is_none(), "a final segment leaves no state");
+        Ok((run.stats, run.probe))
+    }
+
+    /// Replays one shard segment of a sharded run. `resume` is the state
+    /// blob exported by the previous shard (`None` for the first); when
+    /// `final_segment` is false, the run stops as soon as the source dries
+    /// and returns the machine state for the next shard instead of
+    /// draining the pipeline.
+    ///
+    /// The cut is *mid-cycle*: a segment's span runs out inside the
+    /// dispatch loop, after commit, memory, stall attribution and issue
+    /// already ran for that cycle. The exported state therefore carries
+    /// those per-cycle locals (`MidCycle`) and the next shard resumes
+    /// inside the very same cycle, continuing dispatch where its
+    /// predecessor stopped. Chaining segments this way is bit-identical to
+    /// one unsharded run — `tests/shard_differential.rs` pins this across
+    /// the full workload suite. An unsharded run is simply
+    /// `run_segment_probed(source, config, None, true, probe)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`SourceError`] from the source, and rejects a
+    /// corrupt, truncated, or configuration-mismatched `resume` blob as
+    /// [`SourceError::Corrupt`].
+    pub fn run_segment_probed<S: TraceSource>(
+        source: &mut S,
+        config: &MachineConfig,
+        resume: Option<&[u8]>,
+        final_segment: bool,
+        probe: P,
+    ) -> Result<SegmentRun<P>, SourceError> {
         if config.core == CoreMode::Legacy {
             // The escape hatch: the preserved pre-refactor cycle-ticking
             // core, bit-identical by the differential suite.
-            return crate::legacy::LegacySim::run_source_probed(source, config, probe);
+            return crate::legacy::LegacySim::run_segment_probed(
+                source,
+                config,
+                resume,
+                final_segment,
+                probe,
+            );
         }
         let mut sim = TimingSim::new(config, probe);
+        let mut carried = match resume {
+            Some(blob) => Some(sim.import_state(blob)?),
+            None => None,
+        };
         let mut pending: Option<TraceEntry> = None;
         let mut exhausted = false;
         loop {
-            sim.begin_cycle();
-            let committed = sim.commit_stage();
-            let mem_active = sim.memory_stage();
-            // Attribute the stall after the memory stage so port/MSHR
-            // denials reflect this cycle's actual bandwidth claims, but
-            // before issue mutates the head's issued state.
-            let stall = if P::ENABLED && committed == 0 {
-                Some(sim.stall_cause())
-            } else {
-                None
+            // A carried mid-cycle resumes *inside* the cycle the previous
+            // shard stopped in: commit, memory, stall attribution and
+            // issue already ran there, so only the dispatch loop (and
+            // everything after it) executes for that cycle.
+            let mut mid = match carried.take() {
+                Some(m) => m,
+                None => {
+                    sim.begin_cycle();
+                    let committed = sim.commit_stage();
+                    let mem_active = sim.memory_stage();
+                    // Attribute the stall after the memory stage so
+                    // port/MSHR denials reflect this cycle's actual
+                    // bandwidth claims, but before issue mutates the
+                    // head's issued state.
+                    let stall = if P::ENABLED && committed == 0 {
+                        Some(sim.stall_cause())
+                    } else {
+                        None
+                    };
+                    let issued = sim.issue_stage();
+                    MidCycle {
+                        committed,
+                        issued,
+                        dispatched: 0,
+                        mem_active,
+                        stall,
+                        // A failed dispatch bumps exactly one stall
+                        // counter; the deltas are what a fast-forwarded
+                        // span multiplies out.
+                        rob_stalls_before: sim.stats.rob_stall_cycles,
+                        queue_stalls_before: sim.stats.queue_stall_cycles,
+                    }
+                }
             };
-            let issued = sim.issue_stage();
-            // Dispatch stage: pull from the source. A failed dispatch
-            // bumps exactly one stall counter; the deltas are what a
-            // fast-forwarded span multiplies out.
-            let rob_stalls_before = sim.stats.rob_stall_cycles;
-            let queue_stalls_before = sim.stats.queue_stall_cycles;
-            let mut dispatched = 0;
-            while dispatched < sim.config.issue_width {
+            // Dispatch stage: pull from the source.
+            while mid.dispatched < sim.config.issue_width {
                 let entry = match pending.take() {
                     Some(e) => e,
                     None => match source.next_entry()? {
@@ -545,23 +675,37 @@ impl<P: Probe> TimingSim<P> {
                     },
                 };
                 if sim.try_dispatch(&entry) {
-                    dispatched += 1;
+                    mid.dispatched += 1;
                 } else {
                     pending = Some(entry);
                     break;
                 }
             }
+            if exhausted && !final_segment {
+                // The segment's span is spent: stop mid-cycle and hand the
+                // machine to the next shard, which resumes inside this
+                // very cycle with the next span's entries.
+                debug_assert!(pending.is_none(), "a dry source cannot leave an entry");
+                let state = sim.export_state(&mid);
+                let mut stats = sim.stats_view();
+                stats.peak_rss_bytes = source.metrics().peak_rss_bytes;
+                return Ok(SegmentRun {
+                    stats,
+                    state: Some(state),
+                    probe: sim.probe,
+                });
+            }
             let obs = if P::ENABLED {
                 let (dcache_claims, lvc_claims) = sim.mem.claims_this_cycle();
                 let o = CycleObs {
                     rob_occupancy: sim.rob.len,
-                    issued,
-                    committed,
+                    issued: mid.issued,
+                    committed: mid.committed,
                     lsq_depth: sim.lsq_count,
                     lvaq_depth: sim.lvaq_count,
                     dcache_claims,
                     lvc_claims,
-                    stall,
+                    stall: mid.stall,
                 };
                 sim.probe.record(&o);
                 Some(o)
@@ -575,14 +719,14 @@ impl<P: Probe> TimingSim<P> {
             // it during the span cannot either), so jump to the eve of the
             // next scheduled wake-up, replaying the span's constant
             // per-cycle effects in bulk.
-            if committed == 0
-                && issued == 0
-                && dispatched == 0
-                && !mem_active
+            if mid.committed == 0
+                && mid.issued == 0
+                && mid.dispatched == 0
+                && !mid.mem_active
                 && sim.arpt_faults.is_empty()
             {
-                let rob_stall = sim.stats.rob_stall_cycles - rob_stalls_before;
-                let queue_stall = sim.stats.queue_stall_cycles - queue_stalls_before;
+                let rob_stall = sim.stats.rob_stall_cycles - mid.rob_stalls_before;
+                let queue_stall = sim.stats.queue_stall_cycles - mid.queue_stalls_before;
                 sim.fast_forward_idle(rob_stall, queue_stall, obs.as_ref());
             }
             debug_assert!(
@@ -592,7 +736,11 @@ impl<P: Probe> TimingSim<P> {
         }
         let (mut stats, probe) = sim.finish();
         stats.peak_rss_bytes = source.metrics().peak_rss_bytes;
-        Ok((stats, probe))
+        Ok(SegmentRun {
+            stats,
+            state: None,
+            probe,
+        })
     }
 
     /// [`TimingSim::run_trace`] with an attached probe (useful for tests).
@@ -606,23 +754,269 @@ impl<P: Probe> TimingSim<P> {
             .unwrap_or_else(|e| panic!("slice sources cannot fail: {e}"))
     }
 
-    fn finish(mut self) -> (SimStats, P) {
-        self.stats.cycles = self.cycle;
-        self.stats.dcache = self.mem.dcache_stats();
-        self.stats.lvc = self.mem.lvc_stats();
-        self.stats.l2 = self.mem.l2_stats();
-        self.stats.steer_fallbacks = self.mem.steer_fallbacks();
+    /// The statistics as they stand right now, presented finish-style:
+    /// live counters plus every derived field (cycle count, cache stats,
+    /// value-prediction totals, triggered faults). `finish` is exactly this
+    /// view at drain time; a segment boundary uses it mid-run.
+    fn stats_view(&self) -> SimStats {
+        let mut stats = self.stats.clone();
+        stats.cycles = self.cycle;
+        stats.dcache = self.mem.dcache_stats();
+        stats.lvc = self.mem.lvc_stats();
+        stats.l2 = self.mem.l2_stats();
+        stats.steer_fallbacks = self.mem.steer_fallbacks();
         if let Some(vp) = &self.vpred {
-            self.stats.value_predictions = vp.predictions();
-            self.stats.value_pred_correct =
-                (vp.accuracy() * vp.predictions() as f64).round() as u64;
+            stats.value_predictions = vp.predictions();
+            stats.value_pred_correct = (vp.accuracy() * vp.predictions() as f64).round() as u64;
         }
-        self.stats
+        stats
             .faults_applied
             .extend_from_slice(self.mem.faults_triggered());
-        self.stats.faults_applied.sort_unstable();
-        self.stats.faults_applied.dedup();
-        (self.stats, self.probe)
+        stats.faults_applied.sort_unstable();
+        stats.faults_applied.dedup();
+        stats
+    }
+
+    fn finish(self) -> (SimStats, P) {
+        (self.stats_view(), self.probe)
+    }
+
+    // ---- segment-boundary state (sharded replay) ----------------------------
+
+    /// Serializes the complete machine state at a mid-cycle segment
+    /// boundary into a sealed blob (see `crate::state` for the framing).
+    /// Everything a resumed [`TimingSim::run_segment_probed`] loop can
+    /// observe is captured: the ROB (every SoA column), renamer, ordering
+    /// queues, write buffer, predictors, memory system, event wheel, the
+    /// appointment-book bookings (via each slot's `issue_q`/`mem_q` key),
+    /// and the [`MidCycle`] locals of the cut cycle itself.
+    fn export_state(&self, mid: &MidCycle) -> Vec<u8> {
+        let mut w = StateWriter::new();
+        w.bytes(&STATE_MAGIC);
+        w.u8(STATE_VERSION);
+        w.u8(CORE_EVENT);
+        let name = self.config.name.as_bytes();
+        w.u32(name.len() as u32);
+        w.bytes(name);
+        mid.write(&mut w);
+        // Shared section (same order in both cores).
+        w.u64(self.cycle);
+        write_stats(&mut w, &self.stats);
+        for &p in &self.reg_producer {
+            w.u64(p);
+        }
+        for &n in &self.fu_used {
+            w.usize(n);
+        }
+        w.usize(self.lsq_count);
+        w.usize(self.lvaq_count);
+        w.u64_list(&self.lsq_stores.iter().copied().collect::<Vec<_>>());
+        w.u64_list(&self.lvaq_stores.iter().copied().collect::<Vec<_>>());
+        w.u32(self.write_buffer.len() as u32);
+        for &(route, addr) in &self.write_buffer {
+            w.u8(route_tag(route));
+            w.u64(addr);
+        }
+        w.u32(self.arpt_faults.len() as u32);
+        for f in &self.arpt_faults {
+            w.u32(f.id);
+        }
+        match &self.vpred {
+            Some(vp) => {
+                w.u8(1);
+                vp.write_state(&mut w);
+            }
+            None => w.u8(0),
+        }
+        write_arpt(&mut w, &self.arpt);
+        self.mem.write_state(&mut w);
+        // Event-core section: the SoA window in sequence order plus the
+        // wheel's pending wake-ups. The appointment books are *not* stored
+        // — each slot's `issue_q`/`mem_q` key is the authoritative copy
+        // (stale book entries are dropped on drain anyway), so import
+        // re-books from the keys.
+        w.u64(self.rob.head_seq);
+        w.u64(self.next_seq);
+        w.u32(self.rob.len as u32);
+        for k in 0..self.rob.len {
+            let i = self.rob.phys(k);
+            w.u64(self.rob.dispatch_cycle[i]);
+            for &d in &self.rob.deps[i] {
+                w.u64(d);
+            }
+            w.u64(self.rob.data_dep[i]);
+            w.u8(self.rob.fu[i] as u8);
+            w.u64(self.rob.latency[i]);
+            w.u64(self.rob.complete_at[i]);
+            w.u8(phase_tag(self.rob.mem[i]));
+            w.u64(self.rob.addr[i]);
+            w.u8(route_tag(self.rob.route[i]));
+            w.u64(self.rob.mem_ready_at[i]);
+            w.u64(self.rob.agen_done_at[i]);
+            w.u8(self.rob.flags[i]);
+            w.u64(self.rob.pc[i]);
+            w.u64(self.rob.ghr[i]);
+            w.u64(self.rob.ra[i]);
+            w.u64(self.rob.earliest_try[i]);
+            w.u8(self.rob.unknown_deps[i]);
+            w.u64(self.rob.wake_head[i]);
+            for &x in &self.rob.wake_next[i] {
+                w.u64(x);
+            }
+            for &r in &self.rob.claimed[i] {
+                w.u8(r);
+            }
+            w.u64(self.rob.issue_q[i]);
+            w.u64(self.rob.mem_q[i]);
+        }
+        w.u64_list(&self.wheel.pending());
+        w.seal()
+    }
+
+    /// Restores a blob produced by [`TimingSim::export_state`] into this
+    /// freshly constructed simulator and returns the carried [`MidCycle`].
+    /// Decoding is strict: any mismatch against this simulator's
+    /// configuration (name, core, ROB capacity, predictor presence, cache
+    /// geometry, fault plan) or any internally inconsistent field (stale
+    /// appointment, sequence-count mismatch, trailing bytes) is a
+    /// [`SourceError::Corrupt`].
+    fn import_state(&mut self, blob: &[u8]) -> Result<MidCycle, SourceError> {
+        let mut r = StateReader::open(blob)?;
+        if r.bytes(4)? != STATE_MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        if r.u8()? != STATE_VERSION {
+            return Err(corrupt("unsupported version"));
+        }
+        if r.u8()? != CORE_EVENT {
+            return Err(corrupt("state was captured by a different core"));
+        }
+        let name_len = r.len32()?;
+        if r.bytes(name_len)? != self.config.name.as_bytes() {
+            return Err(corrupt("configuration mismatch"));
+        }
+        let mid = MidCycle::read(&mut r)?;
+        // Shared section.
+        self.cycle = r.u64()?;
+        read_stats(&mut r, &mut self.stats)?;
+        for p in &mut self.reg_producer {
+            *p = r.u64()?;
+        }
+        for n in &mut self.fu_used {
+            *n = r.usize()?;
+        }
+        self.lsq_count = r.usize()?;
+        self.lvaq_count = r.usize()?;
+        self.lsq_stores = r.u64_list()?.into();
+        self.lvaq_stores = r.u64_list()?.into();
+        self.write_buffer.clear();
+        for _ in 0..r.len32()? {
+            let route = route_from(r.u8()?)?;
+            let addr = r.u64()?;
+            self.write_buffer.push_back((route, addr));
+        }
+        // Pending ARPT faults are stored as ids and rebuilt from the
+        // configuration's fault plan, preserving its order.
+        let n_faults = r.len32()?;
+        let mut fault_ids = Vec::with_capacity(n_faults.min(1024));
+        for _ in 0..n_faults {
+            fault_ids.push(r.u32()?);
+        }
+        self.arpt_faults = self
+            .config
+            .faults
+            .iter()
+            .filter(|f| !f.is_port_fault() && fault_ids.contains(&f.id))
+            .copied()
+            .collect();
+        if self.arpt_faults.len() != n_faults {
+            return Err(corrupt("pending fault not in the configuration"));
+        }
+        if r.bool()? != self.vpred.is_some() {
+            return Err(corrupt("value-predictor presence mismatch"));
+        }
+        if let Some(vp) = &mut self.vpred {
+            vp.read_state(&mut r)?;
+        }
+        read_arpt(&mut r, &mut self.arpt)?;
+        self.mem.read_state(&mut r)?;
+        // Event-core section.
+        let head_seq = r.u64()?;
+        let next_seq = r.u64()?;
+        let rob_len = r.len32()?;
+        if rob_len > self.config.rob_size {
+            return Err(corrupt("ROB length exceeds capacity"));
+        }
+        let expect_next = head_seq
+            .checked_add(rob_len as u64)
+            .ok_or_else(|| corrupt("sequence overflow"))?;
+        if next_seq != expect_next {
+            return Err(corrupt("sequence numbering is inconsistent"));
+        }
+        self.rob.head_seq = head_seq;
+        self.next_seq = next_seq;
+        for _ in 0..rob_len {
+            let i = self.rob.push_back();
+            self.rob.dispatch_cycle[i] = r.u64()?;
+            for d in &mut self.rob.deps[i] {
+                *d = r.u64()?;
+            }
+            self.rob.data_dep[i] = r.u64()?;
+            self.rob.fu[i] = fu_from(r.u8()?)?;
+            self.rob.latency[i] = r.u64()?;
+            self.rob.complete_at[i] = r.u64()?;
+            self.rob.mem[i] = phase_from(r.u8()?)?;
+            self.rob.addr[i] = r.u64()?;
+            self.rob.route[i] = route_from(r.u8()?)?;
+            self.rob.mem_ready_at[i] = r.u64()?;
+            self.rob.agen_done_at[i] = r.u64()?;
+            self.rob.flags[i] = r.u8()?;
+            self.rob.pc[i] = r.u64()?;
+            self.rob.ghr[i] = r.u64()?;
+            self.rob.ra[i] = r.u64()?;
+            self.rob.earliest_try[i] = r.u64()?;
+            self.rob.unknown_deps[i] = r.u8()?;
+            self.rob.wake_head[i] = r.u64()?;
+            for x in &mut self.rob.wake_next[i] {
+                *x = r.u64()?;
+            }
+            for c in &mut self.rob.claimed[i] {
+                *c = r.u8()?;
+            }
+            self.rob.issue_q[i] = r.u64()?;
+            self.rob.mem_q[i] = r.u64()?;
+        }
+        // Re-book the appointment books from each slot's authoritative
+        // queue key. Every live booking is strictly future at a cut (every
+        // insert site books at `cycle + 1` or later, and due bookings were
+        // drained at their cycle), so a stale one means corruption. Retry
+        // lists rebuild in sequence order — the order the drain loop left
+        // them in, since candidates are processed sorted.
+        for k in 0..self.rob.len {
+            let seq = self.rob.head_seq + k as u64;
+            let i = self.rob.phys(k);
+            match self.rob.issue_q[i] {
+                QUEUE_NONE => {}
+                QUEUE_RETRY => self.issue_retry.push(seq),
+                at if at > self.cycle => self.issue_book.insert(at, self.cycle, seq),
+                _ => return Err(corrupt("stale issue appointment")),
+            }
+            match self.rob.mem_q[i] {
+                QUEUE_NONE => {}
+                QUEUE_RETRY => self.mem_retry.push(seq),
+                at if at > self.cycle => self.mem_book.insert(at, self.cycle, seq),
+                _ => return Err(corrupt("stale memory appointment")),
+            }
+        }
+        self.wheel.advance_to(self.cycle);
+        for at in r.u64_list()? {
+            if at <= self.cycle {
+                return Err(corrupt("stale wheel event"));
+            }
+            self.wheel.schedule(at);
+        }
+        r.finish()?;
+        Ok(mid)
     }
 
     fn begin_cycle(&mut self) {

@@ -88,7 +88,7 @@ impl StallCause {
 
     // `ALL` lists the causes in declaration order, so the discriminant
     // *is* the report index.
-    fn index(self) -> usize {
+    pub(crate) fn index(self) -> usize {
         self as usize
     }
 }

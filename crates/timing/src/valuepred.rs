@@ -1,5 +1,9 @@
 //! Stride-based register value predictor (Table 4: 16K entries).
 
+use arl_sim::SourceError;
+
+use crate::state::{corrupt, StateReader, StateWriter};
+
 /// One predictor entry.
 #[derive(Clone, Copy, Default, Debug)]
 struct Entry {
@@ -84,6 +88,33 @@ impl StridePredictor {
         } else {
             self.correct as f64 / self.predictions as f64
         }
+    }
+
+    /// Serializes counters and every table entry (sharded-replay support).
+    pub(crate) fn write_state(&self, w: &mut StateWriter) {
+        w.u64(self.predictions);
+        w.u64(self.correct);
+        w.u32(self.entries.len() as u32);
+        for e in &self.entries {
+            w.i64(e.last);
+            w.i64(e.stride);
+            w.u8(e.confidence);
+        }
+    }
+
+    /// Restores counters and table entries; the table size must match.
+    pub(crate) fn read_state(&mut self, r: &mut StateReader) -> Result<(), SourceError> {
+        self.predictions = r.u64()?;
+        self.correct = r.u64()?;
+        if r.len32()? != self.entries.len() {
+            return Err(corrupt("value-predictor table size mismatch"));
+        }
+        for e in &mut self.entries {
+            e.last = r.i64()?;
+            e.stride = r.i64()?;
+            e.confidence = r.u8()?;
+        }
+        Ok(())
     }
 }
 

@@ -123,6 +123,20 @@ impl EventWheel {
         self.horizon
     }
 
+    /// Every pending wake-up cycle — ring matches plus overflow contents
+    /// (overflow duplicates included) — sorted ascending. Serialization
+    /// support for sharded replay: re-[`EventWheel::schedule`]-ing the list
+    /// on a fresh wheel advanced to the same horizon reconstructs an
+    /// equivalent wheel.
+    pub fn pending(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = (self.horizon + 1..=self.horizon + WINDOW as u64)
+            .filter(|&c| self.ring[c as usize & (WINDOW - 1)] == c)
+            .collect();
+        v.extend(self.overflow.iter().map(|&Reverse(at)| at));
+        v.sort_unstable();
+        v
+    }
+
     /// Number of distinct pending wake-up cycles (the ring dedupes
     /// same-cycle schedules; overflow entries may still hold duplicates).
     pub fn len(&self) -> usize {

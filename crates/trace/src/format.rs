@@ -1,20 +1,51 @@
-//! The `.arltrace` container: header, delta+varint event stream, footer,
-//! trailing FNV-1a checksum.
+//! The `.arltrace` container: header, delta+varint event stream, snapshot
+//! section (v2), footer, trailing FNV-1a checksum.
 //!
-//! # Layout
+//! # Layout (version 2)
 //!
 //! ```text
 //! offset  size  field
 //! 0       4     magic "ARLT"
-//! 4       1     format version (currently 1)
+//! 4       1     format version (currently 2; version-1 traces still decode)
 //! 5       8     program entry pc, u64 LE
 //! 13      …     event stream (one record per retired instruction)
+//! …       64×S  snapshot records (S = snapshot count; absent in v1)
+//! …       16    snapshot trailer: interval u64, count u64 (absent in v1)
 //! len-33  8     event count, u64 LE
 //! len-25  8     resident pages at end of run, u64 LE
 //! len-17  8     values printed by the program, u64 LE
 //! len-9   1     exited flag (0 or 1)
 //! len-8   8     FNV-1a 64 checksum of bytes[0..len-8], u64 LE
 //! ```
+//!
+//! # Snapshot records
+//!
+//! A snapshot is the complete decoder-side state of a [`Replayer`]
+//! (crate::Replayer) *about to deliver* event `inst_index`: the byte
+//! cursor into the event stream, the three delta-predictor registers, and
+//! the two replayed contexts (global history, link register). Each record
+//! is 64 bytes, individually checksummed so a single record can be
+//! validated in O(1) without hashing the container:
+//!
+//! ```text
+//! offset  field
+//! 0       inst_index u64   — events encoded before this snapshot
+//! 8       body_pos u64     — byte offset into the event stream
+//! 16      prev_next_pc u64 — delta state
+//! 24      prev_addr u64    — delta state
+//! 32      prev_value i64   — delta state
+//! 40      ghr u64          — replayed branch history
+//! 48      ra u64           — replayed link register
+//! 56      FNV-1a 64 of bytes 0..56
+//! ```
+//!
+//! Snapshot `i` always sits at `inst_index == (i+1) × interval`, which is
+//! enforced structurally: a forged snapshot count, interval, or offset is
+//! refused in O(1), matching the footer guarantees. Machine-model state
+//! (ARPT, caches, in-flight pipeline) is deliberately *not* stored in the
+//! trace: one capture serves every timing configuration, so config-
+//! dependent state is exported/imported at run time by `arl-timing` and
+//! handed between shards (see DESIGN.md).
 //!
 //! # Event records
 //!
@@ -43,13 +74,20 @@ use crate::codec::{fnv1a64, read_varint, unzigzag, write_varint, zigzag};
 
 /// `"ARLT"`.
 pub const MAGIC: [u8; 4] = *b"ARLT";
-/// Current format version.
-pub const VERSION: u8 = 1;
+/// Current format version (snapshot section present, possibly empty).
+pub const VERSION: u8 = 2;
+/// The pre-snapshot format version; still decodable.
+pub const VERSION_V1: u8 = 1;
 
 pub(crate) const HEADER_LEN: usize = 13;
 pub(crate) const FOOTER_LEN: usize = 25;
 pub(crate) const CHECKSUM_LEN: usize = 8;
+/// Snapshot trailer: interval u64 + snapshot count u64.
+pub(crate) const SNAP_TRAILER_LEN: usize = 16;
+/// Smallest possible v1 container.
 pub(crate) const MIN_LEN: usize = HEADER_LEN + FOOTER_LEN + CHECKSUM_LEN;
+/// Smallest possible v2 container (empty body, zero snapshots).
+pub(crate) const V2_MIN_LEN: usize = MIN_LEN + SNAP_TRAILER_LEN;
 
 pub(crate) const FLAG_MEM: u8 = 1 << 0;
 pub(crate) const FLAG_VALUE: u8 = 1 << 1;
@@ -102,6 +140,71 @@ impl DeltaState {
             prev_addr: 0,
             prev_value: 0,
         }
+    }
+}
+
+/// One decoded snapshot record: the full replayer state at an event-stream
+/// boundary (see the module docs for the 64-byte wire layout).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SnapshotRecord {
+    /// Events encoded before this snapshot (`(i+1) × interval` for
+    /// snapshot `i`).
+    pub inst_index: u64,
+    /// Byte offset into the event stream where decoding resumes.
+    pub body_pos: u64,
+    /// Delta predictor: next-pc register.
+    pub prev_next_pc: u64,
+    /// Delta predictor: address register.
+    pub prev_addr: u64,
+    /// Delta predictor: value register.
+    pub prev_value: i64,
+    /// Replayed global branch history at the boundary.
+    pub ghr: u64,
+    /// Replayed link register at the boundary.
+    pub ra: u64,
+}
+
+impl SnapshotRecord {
+    /// Wire size of one record, checksum included.
+    pub const LEN: usize = 64;
+
+    /// Serializes the record, sealing its own FNV-1a checksum.
+    pub fn to_bytes(&self) -> [u8; SnapshotRecord::LEN] {
+        let mut b = [0u8; SnapshotRecord::LEN];
+        b[0..8].copy_from_slice(&self.inst_index.to_le_bytes());
+        b[8..16].copy_from_slice(&self.body_pos.to_le_bytes());
+        b[16..24].copy_from_slice(&self.prev_next_pc.to_le_bytes());
+        b[24..32].copy_from_slice(&self.prev_addr.to_le_bytes());
+        b[32..40].copy_from_slice(&self.prev_value.to_le_bytes());
+        b[40..48].copy_from_slice(&self.ghr.to_le_bytes());
+        b[48..56].copy_from_slice(&self.ra.to_le_bytes());
+        let checksum = fnv1a64(&b[..56]);
+        b[56..64].copy_from_slice(&checksum.to_le_bytes());
+        b
+    }
+
+    /// Deserializes and checksum-verifies one record in O(1).
+    ///
+    /// # Errors
+    ///
+    /// [`SourceError::Corrupt`] when the record checksum does not match.
+    pub fn from_bytes(b: &[u8; SnapshotRecord::LEN]) -> Result<SnapshotRecord, SourceError> {
+        let stored = read_u64_le(b, 56);
+        let computed = fnv1a64(&b[..56]);
+        if stored != computed {
+            return Err(SourceError::Corrupt(format!(
+                "snapshot record checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            )));
+        }
+        Ok(SnapshotRecord {
+            inst_index: read_u64_le(b, 0),
+            body_pos: read_u64_le(b, 8),
+            prev_next_pc: read_u64_le(b, 16),
+            prev_addr: read_u64_le(b, 24),
+            prev_value: read_u64_le(b, 32) as i64,
+            ghr: read_u64_le(b, 40),
+            ra: read_u64_le(b, 48),
+        })
     }
 }
 
@@ -165,11 +268,23 @@ pub struct TraceWriter {
     buf: Vec<u8>,
     state: DeltaState,
     count: u64,
+    /// Snapshot every `interval` events (0 = never).
+    interval: u64,
+    /// Accumulated serialized snapshot records.
+    snapshots: Vec<u8>,
 }
 
 impl TraceWriter {
     /// Starts a trace for a program whose first retired pc is `entry_pc`.
     pub fn new(entry_pc: u64) -> TraceWriter {
+        TraceWriter::with_snapshots(entry_pc, 0)
+    }
+
+    /// Like [`TraceWriter::new`], additionally emitting a snapshot record
+    /// every `interval` events (0 disables snapshots). Snapshots are taken
+    /// by [`record`](TraceWriter::record), which sees the replayed
+    /// contexts; the raw [`push`](TraceWriter::push) path never snapshots.
+    pub fn with_snapshots(entry_pc: u64, interval: u64) -> TraceWriter {
         let mut buf = Vec::with_capacity(4096);
         buf.extend_from_slice(&MAGIC);
         buf.push(VERSION);
@@ -178,6 +293,8 @@ impl TraceWriter {
             buf,
             state: DeltaState::new(entry_pc),
             count: 0,
+            interval,
+            snapshots: Vec::new(),
         }
     }
 
@@ -226,8 +343,24 @@ impl TraceWriter {
     }
 
     /// Appends one retired instruction (convenience over
-    /// [`TraceEvent::from_entry`] + [`push`](TraceWriter::push)).
+    /// [`TraceEvent::from_entry`] + [`push`](TraceWriter::push)),
+    /// emitting a snapshot record first whenever the event index crosses
+    /// the configured interval. The entry's sampled contexts (`ghr`,
+    /// `ra`) *are* the replayer state about to deliver this event, so the
+    /// snapshot is exactly what a segment replayer must resume with.
     pub fn record(&mut self, e: &TraceEntry) {
+        if self.interval > 0 && self.count > 0 && self.count.is_multiple_of(self.interval) {
+            let record = SnapshotRecord {
+                inst_index: self.count,
+                body_pos: (self.buf.len() - HEADER_LEN) as u64,
+                prev_next_pc: self.state.prev_next_pc,
+                prev_addr: self.state.prev_addr,
+                prev_value: self.state.prev_value,
+                ghr: e.ghr,
+                ra: e.ra,
+            };
+            self.snapshots.extend_from_slice(&record.to_bytes());
+        }
         self.push(&TraceEvent::from_entry(e));
     }
 
@@ -236,8 +369,12 @@ impl TraceWriter {
         self.count
     }
 
-    /// Seals the trace: footer, checksum.
+    /// Seals the trace: snapshot section, footer, checksum.
     pub fn finish(mut self, metrics: &Metrics) -> Trace {
+        let snapshot_count = (self.snapshots.len() / SnapshotRecord::LEN) as u64;
+        self.buf.extend_from_slice(&self.snapshots);
+        self.buf.extend_from_slice(&self.interval.to_le_bytes());
+        self.buf.extend_from_slice(&snapshot_count.to_le_bytes());
         self.buf.extend_from_slice(&self.count.to_le_bytes());
         self.buf
             .extend_from_slice(&(metrics.resident_pages as u64).to_le_bytes());
@@ -280,21 +417,24 @@ impl Trace {
     /// Validates and adopts serialized trace bytes.
     ///
     /// Validation runs cheapest-first: length, magic/version, then the
-    /// O(1) structural footer invariants (the exited flag is a real
-    /// boolean; the event count fits the body, since every event costs
-    /// at least one byte), and only then the O(n) checksum. The order
-    /// matters for robustness *and* speed: a truncated container lands
-    /// its footer window on arbitrary event-stream bytes, which in
-    /// practice always trips a structural check, so rejecting a
-    /// truncation at **any** byte offset costs O(1) instead of a full
-    /// re-hash — and a checksum-re-sealed forgery of a footer field is
-    /// refused at adoption, before any decode loop can trust it.
+    /// O(1) structural invariants of the footer and (v2) the snapshot
+    /// trailer — the exited flag is a real boolean; the event count fits
+    /// the body, since every event costs at least one byte; the snapshot
+    /// section fits the container; a non-empty snapshot section implies a
+    /// positive interval whose last boundary lies strictly inside the
+    /// event stream — and only then the O(n) checksum. The order matters
+    /// for robustness *and* speed: a truncated container lands its footer
+    /// window on arbitrary event-stream bytes, which in practice always
+    /// trips a structural check, so rejecting a truncation at **any**
+    /// byte offset costs O(1) instead of a full re-hash — and a
+    /// checksum-re-sealed forgery of a footer or trailer field is refused
+    /// at adoption, before any decode loop can trust it.
     ///
     /// # Errors
     ///
     /// [`SourceError::Corrupt`] when the container is too short, the
-    /// magic/version are wrong, a footer field is structurally invalid,
-    /// or the checksum does not match.
+    /// magic/version are wrong, a footer or snapshot-trailer field is
+    /// structurally invalid, or the checksum does not match.
     pub fn from_bytes(bytes: Vec<u8>) -> Result<Trace, SourceError> {
         if bytes.len() < MIN_LEN {
             return Err(SourceError::Corrupt(format!(
@@ -305,10 +445,10 @@ impl Trace {
         if bytes[..4] != MAGIC {
             return Err(SourceError::Corrupt("bad magic (not an ARLT trace)".into()));
         }
-        if bytes[4] != VERSION {
+        let version = bytes[4];
+        if version != VERSION && version != VERSION_V1 {
             return Err(SourceError::Corrupt(format!(
-                "unsupported trace version {} (expected {VERSION})",
-                bytes[4]
+                "unsupported trace version {version} (expected {VERSION_V1} or {VERSION})"
             )));
         }
         let footer = bytes.len() - CHECKSUM_LEN - FOOTER_LEN;
@@ -319,7 +459,44 @@ impl Trace {
             )));
         }
         let count = read_u64_le(&bytes, footer);
-        let body_bytes = (footer - HEADER_LEN) as u64;
+        let mut body_end = footer;
+        if version == VERSION {
+            if bytes.len() < V2_MIN_LEN {
+                return Err(SourceError::Corrupt(format!(
+                    "v2 trace too short: {} bytes, need at least {V2_MIN_LEN}",
+                    bytes.len()
+                )));
+            }
+            let trailer = footer - SNAP_TRAILER_LEN;
+            let interval = read_u64_le(&bytes, trailer);
+            let snap_count = read_u64_le(&bytes, trailer + 8);
+            let snap_bytes = snap_count
+                .checked_mul(SnapshotRecord::LEN as u64)
+                .filter(|&b| b <= (trailer - HEADER_LEN) as u64)
+                .ok_or_else(|| {
+                    SourceError::Corrupt(format!(
+                        "snapshot count {snap_count} exceeds the container"
+                    ))
+                })?;
+            if snap_count > 0 {
+                // Snapshot i sits at inst_index (i+1)×interval, and a
+                // snapshot is only emitted when a later event follows it,
+                // so the last boundary is strictly below the event count.
+                let last = snap_count.checked_mul(interval).ok_or_else(|| {
+                    SourceError::Corrupt(format!(
+                        "snapshot interval {interval} × count {snap_count} overflows"
+                    ))
+                })?;
+                if interval == 0 || last >= count {
+                    return Err(SourceError::Corrupt(format!(
+                        "snapshot trailer inconsistent: interval {interval}, \
+                         count {snap_count}, events {count}"
+                    )));
+                }
+            }
+            body_end = trailer - snap_bytes as usize;
+        }
+        let body_bytes = (body_end - HEADER_LEN) as u64;
         if count > body_bytes {
             return Err(SourceError::Corrupt(format!(
                 "event count {count} exceeds the {body_bytes}-byte body"
@@ -374,9 +551,81 @@ impl Trace {
         }
     }
 
-    /// The encoded event stream (between header and footer).
+    /// The container format version (1 or 2).
+    pub fn version(&self) -> u8 {
+        self.bytes[4]
+    }
+
+    /// Where the event stream ends (snapshot section / footer begins).
+    fn body_end(&self) -> usize {
+        let footer = self.bytes.len() - CHECKSUM_LEN - FOOTER_LEN;
+        if self.version() == VERSION_V1 {
+            return footer;
+        }
+        let trailer = footer - SNAP_TRAILER_LEN;
+        let snap_count = read_u64_le(&self.bytes, trailer + 8) as usize;
+        trailer - snap_count * SnapshotRecord::LEN
+    }
+
+    /// The snapshot interval the trace was captured with (0 = none; v1
+    /// traces always report 0).
+    pub fn snapshot_interval(&self) -> u64 {
+        if self.version() == VERSION_V1 {
+            return 0;
+        }
+        let trailer = self.bytes.len() - CHECKSUM_LEN - FOOTER_LEN - SNAP_TRAILER_LEN;
+        read_u64_le(&self.bytes, trailer)
+    }
+
+    /// Number of snapshot records in the container (0 for v1 traces).
+    pub fn snapshot_count(&self) -> u64 {
+        if self.version() == VERSION_V1 {
+            return 0;
+        }
+        let trailer = self.bytes.len() - CHECKSUM_LEN - FOOTER_LEN - SNAP_TRAILER_LEN;
+        read_u64_le(&self.bytes, trailer + 8)
+    }
+
+    /// Decodes and validates snapshot record `i` in O(1): the record's
+    /// own checksum, its expected boundary `(i+1) × interval`, and that
+    /// its byte cursor lies within the event stream.
+    ///
+    /// # Errors
+    ///
+    /// [`SourceError::Corrupt`] when `i` is out of range or the record
+    /// fails any of the O(1) checks.
+    pub fn snapshot(&self, i: u64) -> Result<SnapshotRecord, SourceError> {
+        let snap_count = self.snapshot_count();
+        if i >= snap_count {
+            return Err(SourceError::Corrupt(format!(
+                "snapshot {i} out of range ({snap_count} records)"
+            )));
+        }
+        let body_end = self.body_end();
+        let at = body_end + (i as usize) * SnapshotRecord::LEN;
+        let mut raw = [0u8; SnapshotRecord::LEN];
+        raw.copy_from_slice(&self.bytes[at..at + SnapshotRecord::LEN]);
+        let record = SnapshotRecord::from_bytes(&raw)?;
+        let expect = (i + 1).wrapping_mul(self.snapshot_interval());
+        if record.inst_index != expect {
+            return Err(SourceError::Corrupt(format!(
+                "snapshot {i} claims inst_index {}, expected {expect}",
+                record.inst_index
+            )));
+        }
+        let body_len = (body_end - HEADER_LEN) as u64;
+        if record.body_pos > body_len {
+            return Err(SourceError::Corrupt(format!(
+                "snapshot {i} cursor {} exceeds the {body_len}-byte body",
+                record.body_pos
+            )));
+        }
+        Ok(record)
+    }
+
+    /// The encoded event stream (between header and snapshots/footer).
     pub(crate) fn body(&self) -> &[u8] {
-        &self.bytes[HEADER_LEN..self.bytes.len() - CHECKSUM_LEN - FOOTER_LEN]
+        &self.bytes[HEADER_LEN..self.body_end()]
     }
 
     /// Decodes the full event sequence (codec tests and tools; simulation
@@ -436,8 +685,65 @@ mod tests {
     fn straight_line_events_cost_one_byte_each() {
         let events: Vec<TraceEvent> = (0..100).map(|i| ev(8 * i, 8 * (i + 1))).collect();
         let t = Trace::from_events(0, &events, &Metrics::default());
-        assert_eq!(t.as_bytes().len(), MIN_LEN + events.len());
+        assert_eq!(t.as_bytes().len(), V2_MIN_LEN + events.len());
         assert_eq!(t.events().unwrap(), events);
+        assert_eq!(t.version(), VERSION);
+        assert_eq!(t.snapshot_count(), 0);
+        assert_eq!(t.snapshot_interval(), 0);
+    }
+
+    #[test]
+    fn snapshot_record_round_trips_and_rejects_flips() {
+        let record = SnapshotRecord {
+            inst_index: 1 << 40,
+            body_pos: 12_345,
+            prev_next_pc: 0xdead_beef_0000,
+            prev_addr: 0x7fff_1234,
+            prev_value: -17,
+            ghr: u64::MAX,
+            ra: 0x4000_0008,
+        };
+        let bytes = record.to_bytes();
+        assert_eq!(SnapshotRecord::from_bytes(&bytes).unwrap(), record);
+        for i in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut bad = bytes;
+                bad[i] ^= 1 << bit;
+                assert!(
+                    SnapshotRecord::from_bytes(&bad).is_err(),
+                    "flip of byte {i} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forged_snapshot_trailers_are_rejected_structurally() {
+        let events: Vec<TraceEvent> = (0..32).map(|i| ev(8 * i, 8 * (i + 1))).collect();
+        let t = Trace::from_events(0, &events, &Metrics::default());
+        let good = t.as_bytes().to_vec();
+        let trailer = good.len() - CHECKSUM_LEN - FOOTER_LEN - SNAP_TRAILER_LEN;
+        let reseal = |mut bytes: Vec<u8>| {
+            let body_len = bytes.len() - CHECKSUM_LEN;
+            let checksum = fnv1a64(&bytes[..body_len]);
+            bytes[body_len..].copy_from_slice(&checksum.to_le_bytes());
+            bytes
+        };
+        // A snapshot count far beyond the container, re-sealed so only the
+        // structural bound can catch it.
+        let mut forged = good.clone();
+        forged[trailer + 8..trailer + 16].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(Trace::from_bytes(reseal(forged)).is_err());
+        // A non-zero count with a zero interval.
+        let mut forged = good.clone();
+        forged[trailer..trailer + 8].copy_from_slice(&0u64.to_le_bytes());
+        forged[trailer + 8..trailer + 16].copy_from_slice(&1u64.to_le_bytes());
+        assert!(Trace::from_bytes(reseal(forged)).is_err());
+        // A boundary at or past the event count.
+        let mut forged = good;
+        forged[trailer..trailer + 8].copy_from_slice(&32u64.to_le_bytes());
+        forged[trailer + 8..trailer + 16].copy_from_slice(&1u64.to_le_bytes());
+        assert!(Trace::from_bytes(reseal(forged)).is_err());
     }
 
     #[test]

@@ -43,5 +43,5 @@ mod format;
 mod replay;
 
 pub use codec::fnv1a64;
-pub use format::{Trace, TraceEvent, TraceWriter, MAGIC, VERSION};
-pub use replay::{capture, capture_with, Replayer};
+pub use format::{SnapshotRecord, Trace, TraceEvent, TraceWriter, MAGIC, VERSION, VERSION_V1};
+pub use replay::{capture, capture_snapshotted, capture_snapshotted_with, capture_with, Replayer};

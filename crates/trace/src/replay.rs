@@ -27,10 +27,41 @@ pub fn capture(program: &Program, max_insts: u64) -> Result<Trace, ExecError> {
 pub fn capture_with<F: FnMut(&TraceEntry)>(
     program: &Program,
     max_insts: u64,
+    visitor: F,
+) -> Result<Trace, ExecError> {
+    capture_snapshotted_with(program, max_insts, 0, visitor)
+}
+
+/// Like [`capture`], additionally embedding a snapshot record every
+/// `interval` retired instructions (0 disables snapshots), so the trace
+/// can later be replayed in independent segments via
+/// [`Replayer::open_span`].
+///
+/// # Errors
+///
+/// Propagates the first [`ExecError`] from execution.
+pub fn capture_snapshotted(
+    program: &Program,
+    max_insts: u64,
+    interval: u64,
+) -> Result<Trace, ExecError> {
+    capture_snapshotted_with(program, max_insts, interval, |_| {})
+}
+
+/// [`capture_snapshotted`] with a ride-along visitor (see
+/// [`capture_with`]).
+///
+/// # Errors
+///
+/// Propagates the first [`ExecError`] from execution.
+pub fn capture_snapshotted_with<F: FnMut(&TraceEntry)>(
+    program: &Program,
+    max_insts: u64,
+    interval: u64,
     mut visitor: F,
 ) -> Result<Trace, ExecError> {
     let mut machine = Machine::new(program);
-    let mut writer = TraceWriter::new(program.entry_pc());
+    let mut writer = TraceWriter::with_snapshots(program.entry_pc(), interval);
     machine.run_with(max_insts, |e| {
         writer.record(e);
         visitor(e);
@@ -70,6 +101,31 @@ impl<'a> Replayer<'a> {
     /// [`SourceError::Corrupt`] when the trace's entry pc does not match
     /// the program's (the trace belongs to a different program).
     pub fn new(trace: &'a Trace, program: &'a Program) -> Result<Replayer<'a>, SourceError> {
+        Replayer::open_span(trace, program, 0, trace.snapshot_count() + 1)
+    }
+
+    /// Builds a replayer over one contiguous *segment* of `trace`.
+    ///
+    /// A trace with `S` snapshots has `S + 1` segments separated by
+    /// boundaries `0..=S+1`: boundary 0 is the start of the trace,
+    /// boundary `b` in `1..=S` is snapshot `b - 1`, and boundary `S + 1`
+    /// is the end. The replayer delivers exactly the entries in
+    /// `[start, end)` boundaries, resuming mid-trace from the snapshot's
+    /// checkpointed decode cursor, delta state, and replayed contexts —
+    /// concatenating every segment's stream reproduces the full replay
+    /// bit-identically (the shard differential suite holds this to `==`).
+    ///
+    /// # Errors
+    ///
+    /// [`SourceError::Corrupt`] when the trace does not belong to
+    /// `program`, the boundaries are out of range or inverted, or a
+    /// snapshot record fails its O(1) validation.
+    pub fn open_span(
+        trace: &'a Trace,
+        program: &'a Program,
+        start: u64,
+        end: u64,
+    ) -> Result<Replayer<'a>, SourceError> {
         if trace.entry_pc() != program.entry_pc() {
             return Err(SourceError::Corrupt(format!(
                 "trace entry pc {:#x} does not match program entry pc {:#x}",
@@ -86,16 +142,48 @@ impl<'a> Replayer<'a> {
                 trace.body().len()
             )));
         }
+        let boundaries = trace.snapshot_count() + 1;
+        if start >= end || end > boundaries {
+            return Err(SourceError::Corrupt(format!(
+                "segment [{start}, {end}) invalid for {boundaries} boundaries"
+            )));
+        }
+        let (pos, state, ghr, ra, start_idx) = if start == 0 {
+            (0, DeltaState::new(trace.entry_pc()), 0, 0, 0)
+        } else {
+            let s = trace.snapshot(start - 1)?;
+            (
+                s.body_pos as usize,
+                DeltaState {
+                    prev_next_pc: s.prev_next_pc,
+                    prev_addr: s.prev_addr,
+                    prev_value: s.prev_value,
+                },
+                s.ghr,
+                s.ra,
+                s.inst_index,
+            )
+        };
+        let end_idx = if end == boundaries {
+            count
+        } else {
+            trace.snapshot(end - 1)?.inst_index
+        };
+        if start_idx > end_idx {
+            return Err(SourceError::Corrupt(format!(
+                "segment [{start}, {end}) spans inverted indices {start_idx}..{end_idx}"
+            )));
+        }
         Ok(Replayer {
             program,
             layout: *program.layout(),
             body: trace.body(),
-            pos: 0,
-            state: DeltaState::new(trace.entry_pc()),
-            remaining: trace.event_count(),
+            pos,
+            state,
+            remaining: end_idx - start_idx,
             metrics: trace.metrics(),
-            ghr: 0,
-            ra: 0,
+            ghr,
+            ra,
         })
     }
 
@@ -248,6 +336,40 @@ mod tests {
                 assert!(err.is_some(), "foreign trace replayed cleanly");
             }
         }
+    }
+
+    #[test]
+    fn segment_replay_concatenates_to_the_full_stream() {
+        let spec = workload("compress").expect("compress workload");
+        let program = spec.build(arl_workloads::Scale::tiny());
+        let trace = capture_snapshotted(&program, 50_000, 1_000).expect("capture");
+        assert!(trace.snapshot_count() >= 2, "workload too short to shard");
+        assert_eq!(trace.snapshot_interval(), 1_000);
+
+        let mut full = Vec::new();
+        let mut replayer = Replayer::new(&trace, &program).expect("replayer");
+        while let Some(e) = replayer.next_entry().expect("replay") {
+            full.push(e);
+        }
+
+        let boundaries = trace.snapshot_count() + 1;
+        let mut stitched = Vec::new();
+        for b in 0..boundaries {
+            let mut seg = Replayer::open_span(&trace, &program, b, b + 1).expect("segment");
+            let mut n = 0u64;
+            while let Some(e) = seg.next_entry().expect("segment replay") {
+                stitched.push(e);
+                n += 1;
+            }
+            if b + 1 < boundaries {
+                assert_eq!(n, 1_000, "interior segment {b} has the interval length");
+            }
+        }
+        assert_eq!(stitched, full);
+
+        // Boundary misuse is rejected, not mis-replayed.
+        assert!(Replayer::open_span(&trace, &program, 1, 1).is_err());
+        assert!(Replayer::open_span(&trace, &program, 0, boundaries + 1).is_err());
     }
 
     #[test]

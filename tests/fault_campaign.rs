@@ -5,9 +5,13 @@
 use std::sync::Mutex;
 
 use arl::sim::functional_instructions_executed;
-use arl_bench::{fault_campaign_with, Checkpoint, ExperimentOptions, FAULTS_SCHEMA};
+use arl::timing::MachineConfig;
+use arl_bench::{
+    capture_trace_snapshotted, fault_campaign_with, replay_sharded, replay_sharded_supervised,
+    stats_fingerprint, timing_trace, Checkpoint, ExperimentOptions, FAULTS_SCHEMA,
+};
 use arl_faults::{Layer, LayerPlan};
-use arl_workloads::Scale;
+use arl_workloads::{workload, Scale};
 
 /// The functional-instruction counter is process-global, so tests that
 /// difference it must not interleave.
@@ -97,6 +101,109 @@ fn checkpoint_resume_is_byte_identical_and_exactly_once() {
     let replayed = fault_campaign_with(&opts(), &plans, Some(3), Some(done_ckpt));
     assert_eq!(functional_instructions_executed() - before, 0);
     assert_eq!(replayed.doc.render(), uninterrupted.doc.render());
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Kill-resume *under sharding*: interrupt a supervised sharded replay
+/// mid-plan, resume from the ledger, and land on results bit-identical
+/// to both the serial replay and an uninterrupted sharded replay —
+/// re-running only the shards the crash lost, and never touching the
+/// functional layer at all.
+#[test]
+fn sharded_kill_resume_is_exactly_once_and_bit_identical() {
+    let _guard = serialize();
+    let dir = temp_dir("shard");
+    let ckpt_path = dir.join("shards.ckpt");
+
+    let program = workload("perl")
+        .expect("perl workload")
+        .build(Scale::tiny());
+    let trace = capture_trace_snapshotted(&program, "perl", 5_000);
+    assert!(trace.snapshot_count() >= 4, "need enough segments to shard");
+    let config = MachineConfig::decoupled(3, 3);
+
+    // References: serial and uninterrupted 4-way sharded replays agree.
+    let serial = timing_trace(&program, &trace, "perl", &config);
+    let uninterrupted = replay_sharded(&program, &trace, "perl", &config, 4, false);
+    assert_eq!(uninterrupted.stats, serial, "sharded must match serial");
+
+    // Replays reconstruct everything from the trace: zero functional
+    // re-execution across interrupt, crash, and resume.
+    let before = functional_instructions_executed();
+
+    // Run 2 of the 4 shard jobs against a ledger, then "crash".
+    let mut ledger = Checkpoint::open(&ckpt_path).unwrap();
+    let interrupted = replay_sharded_supervised(
+        &program,
+        &trace,
+        "perl",
+        &config,
+        4,
+        &mut ledger,
+        "perl/tiny",
+        Some(2),
+    );
+    assert!(
+        interrupted.is_none(),
+        "the job cap must interrupt before the final shard"
+    );
+    drop(ledger);
+
+    // Resume from a freshly reopened ledger: the two completed shards
+    // are served from their recorded state blobs, only the lost tail
+    // re-runs, and the stitched result is bit-identical.
+    let mut ledger = Checkpoint::open(&ckpt_path).unwrap();
+    assert_eq!(ledger.len(), 2, "both completed shards must be recorded");
+    let resumed = replay_sharded_supervised(
+        &program,
+        &trace,
+        "perl",
+        &config,
+        4,
+        &mut ledger,
+        "perl/tiny",
+        None,
+    )
+    .expect("uncapped resume runs to completion");
+    assert_eq!(resumed.skipped, 2, "resume must skip the recorded shards");
+    assert_eq!(
+        resumed.executed + resumed.skipped,
+        resumed.plan.len(),
+        "every planned shard is either skipped or executed, exactly once"
+    );
+    assert_eq!(resumed.stats, serial, "resumed stats must match serial");
+    assert_eq!(
+        format!("{:?}", resumed.stats),
+        format!("{:?}", uninterrupted.stats),
+        "resumed results must render byte-identically"
+    );
+    assert_eq!(
+        stats_fingerprint(&resumed.stats),
+        stats_fingerprint(&uninterrupted.stats)
+    );
+    assert_eq!(
+        functional_instructions_executed() - before,
+        0,
+        "sharded replay and resume must never execute functionally"
+    );
+
+    // A second supervised pass re-runs only the final shard (its stats
+    // are never ledgered) and still reproduces the same results.
+    let resumed_again = replay_sharded_supervised(
+        &program,
+        &trace,
+        "perl",
+        &config,
+        4,
+        &mut ledger,
+        "perl/tiny",
+        None,
+    )
+    .expect("fully checkpointed plan still yields final stats");
+    assert_eq!(resumed_again.skipped, 3, "all non-final shards are served");
+    assert_eq!(resumed_again.executed, 1);
+    assert_eq!(resumed_again.stats, serial);
 
     std::fs::remove_dir_all(&dir).unwrap();
 }
