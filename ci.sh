@@ -61,6 +61,16 @@ ARL_SCALE=tiny ARL_SHARD=3 ARL_SNAPSHOT_INTERVAL=5000 \
 test -s "$smoke_dir/BENCH_shard.json"
 grep -q '"identical":true' "$smoke_dir/BENCH_shard.json"
 
+echo "==> memory-backend smoke gate (all backends, stall conservation)"
+# Tiny-scale sweep of every backend on both machines with the probe
+# attached: every cell must satisfy useful + Σstalls == cycles (the
+# binary exits non-zero and records conserved:false on any violation).
+ARL_SCALE=tiny ARL_JSON="$smoke_dir" \
+    cargo run --quiet --release -p arl-bench --bin bench_backends
+test -s "$smoke_dir/BENCH_backends.json"
+grep -q '"schema":"arl-backends/v1"' "$smoke_dir/BENCH_backends.json"
+! grep -q '"conserved":false' "$smoke_dir/BENCH_backends.json"
+
 echo "==> replay-speed regression gate (subset vs committed BENCH_speed.json)"
 # Re-time a fixed three-workload subset on BOTH cores and fail if any
 # event-over-legacy speedup falls below ARL_SPEED_MIN_RATIO (default

@@ -1,0 +1,6 @@
+//! Memory-backend sweep: every composable backend against the split-port
+//! question, with per-cell stall attribution (`BENCH_backends.json`).
+
+fn main() {
+    arl_bench::run_backends_main();
+}

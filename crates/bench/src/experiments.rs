@@ -16,7 +16,8 @@ use arl_mem::{Region, RegionSet};
 use arl_sim::RegionProfiler;
 use arl_stats::{BarChart, Json, TableBuilder};
 use arl_timing::{
-    CacheConfig, MachineConfig, Recorder, RecoveryMode, SimStats, StallCause, TimingSim,
+    BackendConfig, CacheConfig, MachineConfig, Recorder, RecoveryMode, SimStats, StallCause,
+    TimingSim,
 };
 use arl_trace::Trace;
 use arl_workloads::{suite, workload, Scale, WorkloadSpec};
@@ -87,6 +88,11 @@ pub struct ExperimentOptions {
     /// Capture-time snapshot cadence in instructions
     /// (`ARL_SNAPSHOT_INTERVAL`), used only when `shards > 1`.
     pub snapshot_interval: u64,
+    /// Memory backend applied to every timing config (`ARL_BACKEND`;
+    /// default [`BackendConfig::Baseline`], which leaves configs — and
+    /// therefore all tables and goldens — untouched). Non-baseline
+    /// backends tag config names with `@<label>`.
+    pub backend: BackendConfig,
 }
 
 impl ExperimentOptions {
@@ -100,6 +106,7 @@ impl ExperimentOptions {
             probe: false,
             shards: 1,
             snapshot_interval: crate::shard::DEFAULT_SNAPSHOT_INTERVAL,
+            backend: BackendConfig::Baseline,
         }
     }
 
@@ -126,6 +133,13 @@ impl ExperimentOptions {
         self
     }
 
+    /// Overrides the memory backend (tests drive per-backend differential
+    /// comparisons with this).
+    pub fn with_backend(mut self, backend: BackendConfig) -> ExperimentOptions {
+        self.backend = backend;
+        self
+    }
+
     /// Resolves a raw `ARL_PROBE` value: unset, empty, `"0"`, `"false"`,
     /// or `"off"` leave probing disabled; anything else enables it.
     pub fn probe_from_value(value: Option<&str>) -> bool {
@@ -142,7 +156,7 @@ impl ExperimentOptions {
     }
 
     /// Reads `ARL_SCALE`, `ARL_THREADS`, `ARL_TRACE`, `ARL_PROBE`,
-    /// `ARL_SHARD`, and `ARL_SNAPSHOT_INTERVAL`.
+    /// `ARL_SHARD`, `ARL_SNAPSHOT_INTERVAL`, and `ARL_BACKEND`.
     pub fn from_env() -> ExperimentOptions {
         ExperimentOptions {
             scale: scale_from_env(),
@@ -151,6 +165,7 @@ impl ExperimentOptions {
             probe: Self::probe_from_value(std::env::var("ARL_PROBE").ok().as_deref()),
             shards: crate::shard::shard_from_env(),
             snapshot_interval: crate::shard::snapshot_interval_from_env(),
+            backend: crate::knob::backend_from_env(),
         }
     }
 
@@ -410,6 +425,13 @@ fn timing_cells(
     opts: &ExperimentOptions,
     configs: &[MachineConfig],
 ) -> (Vec<Vec<SimStats>>, Vec<RunRecord>, Vec<ProbeCell>) {
+    // `ARL_BACKEND` swaps the memory backend under every swept config; the
+    // default baseline application is a no-op (names and stats untouched).
+    let configs: Vec<MachineConfig> = configs
+        .iter()
+        .map(|c| c.clone().with_backend(opts.backend))
+        .collect();
+    let configs = configs.as_slice();
     let mut records = Vec::new();
     let results = match opts.trace {
         TraceMode::Replay => {

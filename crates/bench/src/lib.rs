@@ -38,11 +38,17 @@
 //! ARL_THREADS=8 ARL_JSON=out/ cargo run --release -p arl-bench --bin figure8
 //! ```
 
+mod backends;
 mod experiments;
 mod faults;
+mod knob;
 mod runner;
 mod shard;
 mod speed;
+
+pub use backends::{backends_bench, run_backends_main, BackendsBenchRun, BACKENDS_SCHEMA};
+
+pub use knob::{backend_from_env, backend_from_value, knob_parsed, knob_u64};
 
 pub use shard::{
     replay_sharded, replay_sharded_supervised, run_shard_main, shard_bench_with, shard_from_env,

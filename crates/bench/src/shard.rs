@@ -45,21 +45,9 @@ pub const DEFAULT_SNAPSHOT_INTERVAL: u64 = 1_000_000;
 /// Resolves a raw `ARL_SHARD` value: a positive integer is the shard-job
 /// count per (workload × config) cell; unset means 1 (unsharded); zero is
 /// clamped to 1 and anything unparsable warns and replays unsharded.
+/// Routed through [`crate::knob_u64`] like every other `ARL_*` knob.
 pub fn shard_from_value(value: Option<&str>) -> usize {
-    let Some(v) = value else {
-        return 1;
-    };
-    match v.trim().parse::<usize>() {
-        Ok(0) => {
-            eprintln!("[arl-bench] clamping ARL_SHARD=0 to 1");
-            1
-        }
-        Ok(n) => n,
-        Err(_) => {
-            eprintln!("[arl-bench] ignoring invalid ARL_SHARD={v:?}; replaying unsharded");
-            1
-        }
-    }
+    crate::knob_u64("ARL_SHARD", value, 1, 1) as usize
 }
 
 /// Reads `ARL_SHARD`.
@@ -69,21 +57,10 @@ pub fn shard_from_env() -> usize {
 
 /// Resolves a raw `ARL_SNAPSHOT_INTERVAL` value: instructions between
 /// snapshot records at capture time; 0 disables snapshots; unset or
-/// unparsable values use [`DEFAULT_SNAPSHOT_INTERVAL`].
+/// unparsable values use [`DEFAULT_SNAPSHOT_INTERVAL`]. Routed through
+/// [`crate::knob_u64`] like every other `ARL_*` knob.
 pub fn snapshot_interval_from_value(value: Option<&str>) -> u64 {
-    let Some(v) = value else {
-        return DEFAULT_SNAPSHOT_INTERVAL;
-    };
-    match v.trim().parse::<u64>() {
-        Ok(n) => n,
-        Err(_) => {
-            eprintln!(
-                "[arl-bench] ignoring invalid ARL_SNAPSHOT_INTERVAL={v:?}; \
-                 using {DEFAULT_SNAPSHOT_INTERVAL}"
-            );
-            DEFAULT_SNAPSHOT_INTERVAL
-        }
-    }
+    crate::knob_u64("ARL_SNAPSHOT_INTERVAL", value, DEFAULT_SNAPSHOT_INTERVAL, 0)
 }
 
 /// Reads `ARL_SNAPSHOT_INTERVAL`.

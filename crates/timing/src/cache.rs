@@ -5,7 +5,7 @@ use std::collections::BinaryHeap;
 
 use arl_sim::SourceError;
 
-use crate::config::{CacheConfig, MachineConfig, PortModel};
+use crate::config::{BackendConfig, CacheConfig, MachineConfig, PortModel};
 use crate::fault::{FaultKind, TimingFault};
 use crate::state::{corrupt, StateReader, StateWriter};
 
@@ -19,11 +19,13 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
-    /// Hit rate in `[0, 1]` (1.0 when never accessed).
+    /// Hit rate in `[0, 1]`. A structure that saw zero traffic reports
+    /// 0.0, not `NaN` (or a fictitious 1.0): the backend sweep serializes
+    /// this value for structures a workload may never touch.
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits + self.misses;
         if total == 0 {
-            1.0
+            0.0
         } else {
             self.hits as f64 / total as f64
         }
@@ -283,6 +285,251 @@ fn release_due(heap: &mut BinaryHeap<Reverse<u64>>, now: u64) {
     }
 }
 
+/// Access latency of the die-stacked DRAM device (cycles), roughly half
+/// the off-chip `memory_latency` of Table 4 — the ratio Bakhshalipour et
+/// al. report for on-package stacks.
+const STACKED_LATENCY: u64 = 25;
+/// Page granularity of the static stacked/off-chip interleave used by the
+/// flat-memory and memcache modes (4 KB pages; even pages are on-stack).
+const STACKED_PAGE_BYTES: u64 = 4096;
+/// Die-stacked cache geometry: 8 MB, 16-way (half capacity in memcache
+/// mode, where the other half of the stack serves as flat memory).
+const STACKED_CACHE_BYTES: u64 = 8 * 1024 * 1024;
+const STACKED_CACHE_ASSOC: usize = 16;
+/// Burst-friendly device row size (2 KB open rows).
+const BURST_ROW_BYTES: u64 = 2048;
+/// Cost of opening a row (first access of a run).
+const BURST_OPEN_LATENCY: u64 = 50;
+/// Cost of the first same-row access after the open; each further access
+/// in the run gets [`BURST_STEP`] cheaper down to [`BURST_FLOOR`].
+const BURST_HIT_LATENCY: u64 = 24;
+const BURST_STEP: u64 = 4;
+const BURST_FLOOR: u64 = 8;
+
+/// Whether a static page-interleaved address lands in the on-stack half
+/// of flat memory.
+#[inline]
+fn on_stack_page(addr: u64) -> bool {
+    (addr / STACKED_PAGE_BYTES).is_multiple_of(2)
+}
+
+/// One open-row stream of the burst-friendly device. Streams are keyed by
+/// route, so LVAQ (stack-region) and LSQ traffic each keep their own open
+/// row — the layout that rewards ARPT's region segregation. State changes
+/// only on accesses (never with time), which keeps the event core's
+/// fast-forward proof intact.
+#[derive(Clone, Debug)]
+struct RowStream {
+    /// Currently open row (`u64::MAX` = none).
+    open_row: u64,
+    /// Same-row accesses since the open (0 right after opening).
+    run: u64,
+    /// `hits` = accesses served from the open row, `misses` = row opens.
+    stats: CacheStats,
+}
+
+impl RowStream {
+    fn new() -> RowStream {
+        RowStream {
+            open_row: u64::MAX,
+            run: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Latency of one access, advancing the run-length state.
+    fn access(&mut self, addr: u64) -> u64 {
+        let row = addr / BURST_ROW_BYTES;
+        if row == self.open_row {
+            self.run += 1;
+            self.stats.hits += 1;
+            BURST_HIT_LATENCY
+                .saturating_sub(BURST_STEP * (self.run - 1))
+                .max(BURST_FLOOR)
+        } else {
+            self.open_row = row;
+            self.run = 0;
+            self.stats.misses += 1;
+            BURST_OPEN_LATENCY
+        }
+    }
+
+    fn write_state(&self, w: &mut StateWriter) {
+        w.u64(self.open_row);
+        w.u64(self.run);
+        w.u64(self.stats.hits);
+        w.u64(self.stats.misses);
+    }
+
+    fn read_state(&mut self, r: &mut StateReader) -> Result<(), SourceError> {
+        self.open_row = r.u64()?;
+        self.run = r.u64()?;
+        self.stats.hits = r.u64()?;
+        self.stats.misses = r.u64()?;
+        Ok(())
+    }
+}
+
+/// Everything beyond the first-level structures: the shared L2 plus the
+/// [`BackendConfig`]-selected device behind it. [`Backend::beyond_l1`] is
+/// the single seam the rest of [`MemSystem`] drives — both timing cores
+/// and every port model compose with any backend unchanged.
+#[derive(Clone, Debug)]
+struct Backend {
+    kind: BackendConfig,
+    l2: Cache,
+    memory_latency: u64,
+    /// The die-stacked cache (stacked-cache and memcache modes).
+    stacked: Option<Cache>,
+    /// Per-route open-row streams (burst mode): `[DataCache, Lvc]`.
+    streams: Option<[RowStream; 2]>,
+}
+
+impl Backend {
+    fn new(config: &MachineConfig) -> Backend {
+        let kind = config.backend;
+        let stacked = match kind {
+            BackendConfig::StackedCache | BackendConfig::StackedMemCache => {
+                let size = if kind == BackendConfig::StackedMemCache {
+                    STACKED_CACHE_BYTES / 2
+                } else {
+                    STACKED_CACHE_BYTES
+                };
+                Some(Cache::new(CacheConfig {
+                    size_bytes: size,
+                    assoc: STACKED_CACHE_ASSOC,
+                    line_bytes: config.l2.line_bytes,
+                    hit_latency: STACKED_LATENCY,
+                    ports: usize::MAX,
+                    port_model: PortModel::TruePorts(usize::MAX),
+                }))
+            }
+            _ => None,
+        };
+        let streams = (kind == BackendConfig::Burst).then(|| [RowStream::new(), RowStream::new()]);
+        Backend {
+            kind,
+            l2: Cache::new(config.l2.sanitized("l2")),
+            memory_latency: config.memory_latency,
+            stacked,
+            streams,
+        }
+    }
+
+    /// Latency beyond L1 for an access that missed the first level: the
+    /// L2 lookup plus — on an L2 miss — whatever the configured device
+    /// charges. The baseline arm reproduces the pre-backend chain exactly
+    /// (`l2_hit + memory_latency` on a miss).
+    fn beyond_l1(&mut self, route: Route, addr: u64) -> u64 {
+        let l2_latency = self.l2.config().hit_latency;
+        if self.l2.access(addr) {
+            return l2_latency;
+        }
+        l2_latency
+            + match self.kind {
+                BackendConfig::Baseline => self.memory_latency,
+                BackendConfig::StackedMemory => {
+                    if on_stack_page(addr) {
+                        STACKED_LATENCY
+                    } else {
+                        self.memory_latency
+                    }
+                }
+                BackendConfig::StackedCache => STACKED_LATENCY + self.stacked_miss_extra(addr),
+                BackendConfig::StackedMemCache => {
+                    if on_stack_page(addr) {
+                        STACKED_LATENCY
+                    } else {
+                        STACKED_LATENCY + self.stacked_miss_extra(addr)
+                    }
+                }
+                BackendConfig::Burst => match &mut self.streams {
+                    Some(streams) => streams[route_index(route)].access(addr),
+                    None => self.memory_latency,
+                },
+            }
+    }
+
+    /// Off-chip penalty when the stacked cache misses (0 on a hit).
+    fn stacked_miss_extra(&mut self, addr: u64) -> u64 {
+        match &mut self.stacked {
+            Some(cache) => {
+                if cache.access(addr) {
+                    0
+                } else {
+                    self.memory_latency
+                }
+            }
+            None => self.memory_latency,
+        }
+    }
+
+    fn l2_stats(&self) -> CacheStats {
+        self.l2.stats()
+    }
+
+    /// Hit/miss counters of the backend device, when it has any: the
+    /// stacked cache's fills, or the burst device's row hits vs opens
+    /// (summed over both streams). `None` for the stateless backends.
+    fn stacked_stats(&self) -> Option<CacheStats> {
+        if let Some(cache) = &self.stacked {
+            return Some(cache.stats());
+        }
+        self.streams.as_ref().map(|streams| CacheStats {
+            hits: streams[0].stats.hits + streams[1].stats.hits,
+            misses: streams[0].stats.misses + streams[1].stats.misses,
+        })
+    }
+
+    /// Serializes the backend identity and device state. The identity tag
+    /// comes first so a mismatched import fails with a clear error before
+    /// any geometry-dependent field is touched.
+    fn write_state(&self, w: &mut StateWriter) {
+        w.u8(self.kind.tag());
+        self.l2.write_state(w);
+        if let Some(cache) = &self.stacked {
+            cache.write_state(w);
+        }
+        if let Some(streams) = &self.streams {
+            for stream in streams {
+                stream.write_state(w);
+            }
+        }
+    }
+
+    fn read_state(&mut self, r: &mut StateReader) -> Result<(), SourceError> {
+        let tag = r.u8()?;
+        let exported = BackendConfig::from_tag(tag)
+            .ok_or_else(|| corrupt(&format!("unknown memory backend tag {tag}")))?;
+        if exported != self.kind {
+            return Err(corrupt(&format!(
+                "state blob was exported under backend '{}', this run uses '{}'",
+                exported.label(),
+                self.kind.label()
+            )));
+        }
+        self.l2.read_state(r)?;
+        if let Some(cache) = &mut self.stacked {
+            cache.read_state(r)?;
+        }
+        if let Some(streams) = &mut self.streams {
+            for stream in streams {
+                stream.read_state(r)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Stream index of a route (burst-mode open-row tracking).
+#[inline]
+fn route_index(route: Route) -> usize {
+    match route {
+        Route::DataCache => 0,
+        Route::Lvc => 1,
+    }
+}
+
 /// The data-side memory hierarchy: L1 data cache (+ optional LVC), a
 /// shared L2, and main memory, with per-cycle bandwidth accounting and
 /// bounded MSHRs for the first-level structures.
@@ -290,8 +537,7 @@ fn release_due(heap: &mut BinaryHeap<Reverse<u64>>, now: u64) {
 pub struct MemSystem {
     dcache: Cache,
     lvc: Option<Cache>,
-    l2: Cache,
-    memory_latency: u64,
+    backend: Backend,
     dcache_bw: BandwidthState,
     lvc_bw: Option<BandwidthState>,
     mshr_cap: usize,
@@ -312,15 +558,18 @@ pub struct MemSystem {
 }
 
 impl MemSystem {
-    /// Builds the hierarchy described by `config`.
+    /// Builds the hierarchy described by `config`. Degenerate port/bank
+    /// counts are clamped with a warning ([`CacheConfig::sanitized`])
+    /// rather than silently aliasing banks.
     pub fn new(config: &MachineConfig) -> MemSystem {
+        let dcache_cfg = config.dcache.sanitized("dcache");
+        let lvc_cfg = config.lvc.map(|c| c.sanitized("lvc"));
         MemSystem {
-            dcache: Cache::new(config.dcache),
-            lvc: config.lvc.map(Cache::new),
-            l2: Cache::new(config.l2),
-            memory_latency: config.memory_latency,
-            dcache_bw: BandwidthState::new(&config.dcache),
-            lvc_bw: config.lvc.as_ref().map(BandwidthState::new),
+            dcache: Cache::new(dcache_cfg),
+            lvc: lvc_cfg.map(Cache::new),
+            backend: Backend::new(config),
+            dcache_bw: BandwidthState::new(&dcache_cfg),
+            lvc_bw: lvc_cfg.as_ref().map(BandwidthState::new),
             mshr_cap: config.mshrs,
             dcache_mshrs: BinaryHeap::new(),
             lvc_mshrs: BinaryHeap::new(),
@@ -578,13 +827,7 @@ impl MemSystem {
         if l1_hit {
             return Some(l1_latency + spike);
         }
-        let l2_latency = self.l2.config().hit_latency;
-        let total = spike
-            + if self.l2.access(addr) {
-                l1_latency + l2_latency
-            } else {
-                l1_latency + l2_latency + self.memory_latency
-            };
+        let total = spike + l1_latency + self.backend.beyond_l1(route, addr);
         let release = self.now + total;
         match route {
             Route::DataCache => self.dcache_mshrs.push(Reverse(release)),
@@ -605,7 +848,19 @@ impl MemSystem {
 
     /// L2 statistics.
     pub fn l2_stats(&self) -> CacheStats {
-        self.l2.stats()
+        self.backend.l2_stats()
+    }
+
+    /// Hit/miss counters of the configured backend device (stacked cache
+    /// fills, or burst row hits vs row opens); `None` when the backend
+    /// keeps no such state (baseline, stacked flat memory).
+    pub fn stacked_stats(&self) -> Option<CacheStats> {
+        self.backend.stacked_stats()
+    }
+
+    /// The memory backend this hierarchy was built with.
+    pub fn backend_kind(&self) -> BackendConfig {
+        self.backend.kind
     }
 
     /// Bandwidth-denied access starts on the data cache (bank conflicts,
@@ -629,11 +884,15 @@ impl MemSystem {
         )
     }
 
-    /// Serializes the complete hierarchy state for sharded replay: clock,
-    /// cache arrays, bandwidth accounting (including the boundary cycle's
-    /// claims — the cut is mid-cycle), MSHR release heaps in a canonical
-    /// sorted form, and fault attribution. `port_faults`, latencies and
-    /// MSHR capacity are configuration, rebuilt by [`MemSystem::new`].
+    /// Serializes the complete hierarchy state for sharded replay: the
+    /// backend identity tag, clock, cache arrays, backend device state,
+    /// bandwidth accounting (including the boundary cycle's claims — the
+    /// cut is mid-cycle), MSHR release heaps in a canonical sorted form,
+    /// and fault attribution. `port_faults`, latencies and MSHR capacity
+    /// are configuration, rebuilt by [`MemSystem::new`]. The export is
+    /// per-backend because device state *is* timing state: resuming a
+    /// stacked-cache run without its fill map (or a burst run without its
+    /// open rows) would silently change every post-resume latency.
     pub(crate) fn write_state(&self, w: &mut StateWriter) {
         w.u64(self.now);
         self.dcache.write_state(w);
@@ -644,7 +903,7 @@ impl MemSystem {
             }
             None => w.u8(0),
         }
-        self.l2.write_state(w);
+        self.backend.write_state(w);
         self.dcache_bw.write_state(w);
         match &self.lvc_bw {
             Some(bw) => {
@@ -673,7 +932,7 @@ impl MemSystem {
         if let Some(lvc) = &mut self.lvc {
             lvc.read_state(r)?;
         }
-        self.l2.read_state(r)?;
+        self.backend.read_state(r)?;
         self.dcache_bw.read_state(r)?;
         if r.bool()? != self.lvc_bw.is_some() {
             return Err(corrupt("LVC bandwidth presence mismatch"));
@@ -954,6 +1213,208 @@ mod tests {
         assert!(!m.port_available(Route::Lvc, 0));
         m.new_cycle();
         assert!(m.port_available(Route::DataCache, 0));
+    }
+
+    #[test]
+    fn hit_rate_is_zero_without_traffic() {
+        let empty = CacheStats::default();
+        assert_eq!(empty.hit_rate(), 0.0, "zero traffic must not be 1.0 or NaN");
+        assert!(empty.hit_rate().is_finite());
+        let warm = CacheStats { hits: 3, misses: 1 };
+        assert!((warm.hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn baseline_backend_matches_the_paper_chain() {
+        let config = MachineConfig::baseline_2_0().with_backend(BackendConfig::Baseline);
+        let mut m = MemSystem::new(&config);
+        assert_eq!(m.backend_kind(), BackendConfig::Baseline);
+        m.new_cycle();
+        assert_eq!(m.access(Route::DataCache, 0x2000_0000), Some(2 + 12 + 50));
+        assert!(m.stacked_stats().is_none());
+    }
+
+    #[test]
+    fn stacked_memory_splits_pages_statically() {
+        let config = MachineConfig::baseline_2_0().with_backend(BackendConfig::StackedMemory);
+        let mut m = MemSystem::new(&config);
+        m.new_cycle();
+        // 0x2000_0000 sits in an even 4 KB page: on-stack, half latency.
+        assert_eq!(m.access(Route::DataCache, 0x2000_0000), Some(2 + 12 + 25));
+        m.new_cycle();
+        // The next page is odd: off-chip.
+        assert_eq!(m.access(Route::DataCache, 0x2000_1000), Some(2 + 12 + 50));
+        assert!(
+            m.stacked_stats().is_none(),
+            "flat split keeps no device state"
+        );
+    }
+
+    #[test]
+    fn stacked_cache_catches_l2_evictions() {
+        let config = MachineConfig::baseline_2_0().with_backend(BackendConfig::StackedCache);
+        let mut m = MemSystem::new(&config);
+        m.new_cycle();
+        // Cold: miss everywhere, pay the stacked lookup plus off-chip.
+        assert_eq!(
+            m.access(Route::DataCache, 0x100_0000),
+            Some(2 + 12 + 25 + 50)
+        );
+        assert_eq!(m.stacked_stats(), Some(CacheStats { hits: 0, misses: 1 }));
+        // L2 is 512 KB 4-way with 32 B lines (4096 sets): a 128 KB stride
+        // stays in one set, so five lines evict the first from both L1
+        // (2-way) and L2 (4-way) while the 16-way stacked cache keeps all.
+        let stride = 128 * 1024u64;
+        for i in 1..5u64 {
+            m.new_cycle();
+            m.access(Route::DataCache, 0x100_0000 + i * stride);
+        }
+        m.new_cycle();
+        assert_eq!(
+            m.access(Route::DataCache, 0x100_0000),
+            Some(2 + 12 + 25),
+            "L1 and L2 evicted the line; the stacked cache still holds it"
+        );
+        assert_eq!(m.stacked_stats(), Some(CacheStats { hits: 1, misses: 5 }));
+    }
+
+    #[test]
+    fn memcache_serves_flat_pages_without_the_cache() {
+        let config = MachineConfig::baseline_2_0().with_backend(BackendConfig::StackedMemCache);
+        let mut m = MemSystem::new(&config);
+        m.new_cycle();
+        // Even page: the flat half of the stack, no cache involvement.
+        assert_eq!(m.access(Route::DataCache, 0x2000_0000), Some(2 + 12 + 25));
+        assert_eq!(m.stacked_stats(), Some(CacheStats::default()));
+        m.new_cycle();
+        // Odd page: goes through the (cold) stacked-cache partition.
+        assert_eq!(
+            m.access(Route::DataCache, 0x2000_1000),
+            Some(2 + 12 + 25 + 50)
+        );
+        assert_eq!(m.stacked_stats(), Some(CacheStats { hits: 0, misses: 1 }));
+    }
+
+    #[test]
+    fn burst_backend_rewards_same_row_runs_per_stream() {
+        let config = MachineConfig::decoupled(2, 2).with_backend(BackendConfig::Burst);
+        let mut m = MemSystem::new(&config);
+        m.new_cycle();
+        // Row open on the LSQ stream.
+        assert_eq!(m.access(Route::DataCache, 0x1000), Some(2 + 12 + 50));
+        m.new_cycle();
+        // Consecutive same-row misses ramp down: 24, 20, ...
+        assert_eq!(m.access(Route::DataCache, 0x1020), Some(2 + 12 + 24));
+        m.new_cycle();
+        assert_eq!(m.access(Route::DataCache, 0x1040), Some(2 + 12 + 20));
+        m.new_cycle();
+        // The LVAQ stream has its own open row: this does not disturb the
+        // LSQ run, and itself pays a fresh open (LVC hit latency is 1).
+        assert_eq!(m.access(Route::Lvc, 0x8_0000), Some(1 + 12 + 50));
+        m.new_cycle();
+        assert_eq!(
+            m.access(Route::DataCache, 0x1060),
+            Some(2 + 12 + 16),
+            "the LSQ run survived the interleaved LVAQ access"
+        );
+        let rows = m.stacked_stats().expect("burst keeps row stats");
+        assert_eq!(rows, CacheStats { hits: 3, misses: 2 });
+        m.new_cycle();
+        // Long runs bottom out at the floor.
+        for i in 4..12u64 {
+            m.access(Route::DataCache, 0x1000 + i * 32);
+            m.new_cycle();
+        }
+        assert_eq!(
+            m.access(Route::DataCache, 0x1000 + 12 * 32),
+            Some(2 + 12 + 8)
+        );
+    }
+
+    #[test]
+    fn backend_state_round_trips_per_backend() {
+        for backend in BackendConfig::ALL {
+            let config = MachineConfig::decoupled(2, 2).with_backend(backend);
+            let mut m = MemSystem::new(&config);
+            for i in 0..20u64 {
+                m.new_cycle();
+                m.access(Route::DataCache, 0x100_0000 + i * 128 * 1024);
+            }
+            let mut w = StateWriter::new();
+            m.write_state(&mut w);
+            let blob = w.seal();
+            let mut restored = MemSystem::new(&config);
+            let mut r = StateReader::open(&blob).unwrap();
+            restored
+                .read_state(&mut r)
+                .unwrap_or_else(|e| panic!("{}: state did not round-trip: {e}", backend.label()));
+            r.finish().unwrap();
+            assert_eq!(restored.l2_stats(), m.l2_stats(), "{}", backend.label());
+            assert_eq!(
+                restored.stacked_stats(),
+                m.stacked_stats(),
+                "{}",
+                backend.label()
+            );
+            // The restored hierarchy must keep charging identical
+            // latencies — device state (fills, open rows) came across.
+            restored.new_cycle();
+            m.new_cycle();
+            assert_eq!(
+                m.access(Route::DataCache, 0x100_0000),
+                restored.access(Route::DataCache, 0x100_0000),
+                "{}: post-resume latency diverged",
+                backend.label()
+            );
+        }
+    }
+
+    #[test]
+    fn cross_backend_state_is_rejected_with_a_clear_error() {
+        let exporter = MemSystem::new(
+            &MachineConfig::baseline_2_0().with_backend(BackendConfig::StackedCache),
+        );
+        let mut w = StateWriter::new();
+        exporter.write_state(&mut w);
+        let blob = w.seal();
+        let mut importer = MemSystem::new(&MachineConfig::baseline_2_0());
+        let mut r = StateReader::open(&blob).unwrap();
+        let err = importer.read_state(&mut r).expect_err("must reject");
+        let msg = err.to_string();
+        assert!(
+            msg.contains("stacked-cache") && msg.contains("baseline"),
+            "error must name both backends, got: {msg}"
+        );
+    }
+
+    #[test]
+    fn degenerate_bank_counts_are_clamped_not_aliased() {
+        // 6 banks would alias through the `1 << bank_of` u64 mask math;
+        // the hierarchy clamps to 4 and behaves like a valid 4-bank cache.
+        let mut config = MachineConfig::baseline_2_0();
+        config.dcache.port_model = PortModel::Banked { banks: 6 };
+        config.dcache.ports = 6;
+        let mut m = MemSystem::new(&config);
+        m.new_cycle();
+        m.access(Route::DataCache, 0);
+        m.access(Route::DataCache, 32);
+        m.access(Route::DataCache, 64);
+        m.access(Route::DataCache, 96);
+        assert!(
+            !m.port_available(Route::DataCache, 128),
+            "4 clamped banks busy"
+        );
+        // 80 banks would shift a u64 by >= 64: clamped to 64, no overflow.
+        let mut wide = MachineConfig::baseline_2_0();
+        wide.dcache.port_model = PortModel::Banked { banks: 80 };
+        wide.dcache.ports = 80;
+        let mut m = MemSystem::new(&wide);
+        m.new_cycle();
+        for i in 0..64u64 {
+            assert!(m.port_available(Route::DataCache, i * 32));
+            m.access(Route::DataCache, i * 32);
+        }
+        assert!(!m.port_available(Route::DataCache, 64 * 32));
     }
 
     #[test]

@@ -105,6 +105,43 @@ impl CacheConfig {
         self
     }
 
+    /// Returns this geometry with out-of-range port/bank counts clamped to
+    /// values the bandwidth model can represent, warning on stderr like the
+    /// `ARL_SCALE` fallback does. The bank mask is a `u64` and banks are
+    /// selected by `line % banks`, so a bank count that is zero, above 64,
+    /// or not a power of two would silently alias banks; a zero port count
+    /// would deny every access forever. Every constructor in this module
+    /// produces valid values, so sanitizing them is a no-op.
+    pub fn sanitized(mut self, what: &str) -> CacheConfig {
+        if let PortModel::Banked { banks } = self.port_model {
+            let clamped = if banks == 0 {
+                1
+            } else if banks > 64 {
+                64
+            } else if banks.is_power_of_two() {
+                banks
+            } else {
+                banks.next_power_of_two() / 2
+            };
+            if clamped != banks {
+                eprintln!(
+                    "[arl-timing] clamping {what} bank count {banks} to {clamped} \
+                     (must be a power of two, at most 64)"
+                );
+                self.port_model = PortModel::Banked { banks: clamped };
+                self.ports = clamped;
+            }
+        }
+        if self.ports == 0 {
+            eprintln!("[arl-timing] clamping {what} port count 0 to 1");
+            self.ports = 1;
+            if self.port_model == PortModel::TruePorts(0) {
+                self.port_model = PortModel::TruePorts(1);
+            }
+        }
+        self
+    }
+
     /// Switches this cache to a single array port plus a line buffer
     /// (Wilson et al.).
     pub fn with_line_buffer(mut self) -> CacheConfig {
@@ -154,6 +191,86 @@ impl CoreMode {
             Ok(v) if v.eq_ignore_ascii_case("legacy") => CoreMode::Legacy,
             _ => CoreMode::Event,
         }
+    }
+}
+
+/// What serves references beyond the first-level structures (L1 + LVC).
+///
+/// The paper evaluates one fixed chain — a shared L2 backed by flat
+/// off-chip memory. `BackendConfig` turns that chain into plain data a
+/// sweep can iterate: the same front end (ports, queues, ARPT steering)
+/// can be driven against die-stacked DRAM used as memory, as a giant
+/// cache, or as a memcache hybrid (Bakhshalipour et al.), or against a
+/// burst-friendly device whose latency falls with the run length of
+/// same-row accesses within a region stream (Ferry et al.). Every
+/// variant keeps the shared L2; they differ in what an L2 miss costs.
+///
+/// [`BackendConfig::Baseline`] is **bit-identical** to the pre-backend
+/// hierarchy — the differential and golden suites pin this down.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum BackendConfig {
+    /// The paper's chain: L2 misses pay the flat off-chip latency.
+    #[default]
+    Baseline,
+    /// Die-stacked DRAM as part of flat memory: a static page-interleaved
+    /// split maps half the address space on-stack at a fraction of the
+    /// off-chip latency (hit-predictor-free, the v1 simplification).
+    StackedMemory,
+    /// Die-stacked DRAM as a giant memory-side cache behind the L2.
+    StackedCache,
+    /// MemCache hybrid: half the pages are flat stacked memory, the rest
+    /// go through a half-capacity stacked cache.
+    StackedMemCache,
+    /// Burst-friendly device: an L2 miss that stays in the open row of its
+    /// region stream (LSQ and LVAQ stream separately) gets cheaper the
+    /// longer the run; switching rows pays the full open cost.
+    Burst,
+}
+
+impl BackendConfig {
+    /// Every backend, in report order.
+    pub const ALL: [BackendConfig; 5] = [
+        BackendConfig::Baseline,
+        BackendConfig::StackedMemory,
+        BackendConfig::StackedCache,
+        BackendConfig::StackedMemCache,
+        BackendConfig::Burst,
+    ];
+
+    /// Stable kebab-case label (`ARL_BACKEND` values, JSON rows, config
+    /// name suffixes).
+    pub fn label(self) -> &'static str {
+        match self {
+            BackendConfig::Baseline => "baseline",
+            BackendConfig::StackedMemory => "stacked-memory",
+            BackendConfig::StackedCache => "stacked-cache",
+            BackendConfig::StackedMemCache => "stacked-memcache",
+            BackendConfig::Burst => "burst",
+        }
+    }
+
+    /// Parses a [`Self::label`] (case-insensitive); `None` on anything
+    /// else.
+    pub fn from_label(value: &str) -> Option<BackendConfig> {
+        BackendConfig::ALL
+            .into_iter()
+            .find(|b| value.eq_ignore_ascii_case(b.label()))
+    }
+
+    /// The byte tag stored in the `"ARLS"` machine-state blob.
+    pub(crate) fn tag(self) -> u8 {
+        match self {
+            BackendConfig::Baseline => 0,
+            BackendConfig::StackedMemory => 1,
+            BackendConfig::StackedCache => 2,
+            BackendConfig::StackedMemCache => 3,
+            BackendConfig::Burst => 4,
+        }
+    }
+
+    /// Inverse of [`Self::tag`].
+    pub(crate) fn from_tag(tag: u8) -> Option<BackendConfig> {
+        BackendConfig::ALL.into_iter().find(|b| b.tag() == tag)
     }
 }
 
@@ -210,6 +327,8 @@ pub struct MachineConfig {
     /// Which main loop drives the run (from `ARL_CORE`; results are
     /// bit-identical either way — this only trades simulation speed).
     pub core: CoreMode,
+    /// What serves references beyond the first-level structures.
+    pub backend: BackendConfig,
 }
 
 impl MachineConfig {
@@ -238,7 +357,20 @@ impl MachineConfig {
             write_buffer: 0,
             faults: Vec::new(),
             core: CoreMode::from_env(),
+            backend: BackendConfig::Baseline,
         }
+    }
+
+    /// Returns this machine with the given memory backend. A non-baseline
+    /// backend is appended to the name (`"(3+3)@stacked-cache"`) so swept
+    /// cells stay distinguishable; [`BackendConfig::Baseline`] is a no-op,
+    /// keeping every existing preset byte-identical.
+    pub fn with_backend(mut self, backend: BackendConfig) -> MachineConfig {
+        if backend != BackendConfig::Baseline {
+            self.name = format!("{}@{}", self.name, backend.label());
+        }
+        self.backend = backend;
+        self
     }
 
     /// The Figure 8 baseline: a 2-ported, 2-cycle data cache.
@@ -313,6 +445,70 @@ mod tests {
         assert_eq!(lvc.assoc, 1);
         assert_eq!(lvc.hit_latency, 1);
         assert!(c.is_decoupled());
+    }
+
+    #[test]
+    fn backend_labels_round_trip() {
+        for backend in BackendConfig::ALL {
+            assert_eq!(BackendConfig::from_label(backend.label()), Some(backend));
+            assert_eq!(BackendConfig::from_tag(backend.tag()), Some(backend));
+        }
+        assert_eq!(
+            BackendConfig::from_label("STACKED-CACHE"),
+            Some(BackendConfig::StackedCache)
+        );
+        assert_eq!(BackendConfig::from_label("hbm"), None);
+        assert_eq!(BackendConfig::from_tag(200), None);
+    }
+
+    #[test]
+    fn with_backend_tags_the_name_except_baseline() {
+        let base = MachineConfig::baseline_2_0();
+        assert_eq!(base.backend, BackendConfig::Baseline);
+        let same = base.clone().with_backend(BackendConfig::Baseline);
+        assert_eq!(same.name, "(2+0)");
+        let stacked = base.with_backend(BackendConfig::StackedCache);
+        assert_eq!(stacked.name, "(2+0)@stacked-cache");
+        assert_eq!(stacked.backend, BackendConfig::StackedCache);
+    }
+
+    #[test]
+    fn sanitized_clamps_degenerate_port_geometry() {
+        let valid = CacheConfig::l1_data(2, 2).with_banks(4);
+        assert_eq!(
+            valid.sanitized("dcache"),
+            valid,
+            "valid configs pass through"
+        );
+
+        let mut aliasing = CacheConfig::l1_data(2, 2);
+        aliasing.port_model = PortModel::Banked { banks: 6 };
+        aliasing.ports = 6;
+        let fixed = aliasing.sanitized("dcache");
+        assert_eq!(fixed.port_model, PortModel::Banked { banks: 4 });
+        assert_eq!(fixed.ports, 4);
+
+        let mut wide = CacheConfig::l1_data(2, 2);
+        wide.port_model = PortModel::Banked { banks: 128 };
+        wide.ports = 128;
+        assert_eq!(
+            wide.sanitized("dcache").port_model,
+            PortModel::Banked { banks: 64 }
+        );
+
+        let mut zero_banks = CacheConfig::l1_data(2, 2);
+        zero_banks.port_model = PortModel::Banked { banks: 0 };
+        zero_banks.ports = 0;
+        let fixed = zero_banks.sanitized("lvc");
+        assert_eq!(fixed.port_model, PortModel::Banked { banks: 1 });
+        assert_eq!(fixed.ports, 1);
+
+        let mut portless = CacheConfig::l1_data(2, 2);
+        portless.ports = 0;
+        portless.port_model = PortModel::TruePorts(0);
+        let fixed = portless.sanitized("dcache");
+        assert_eq!(fixed.ports, 1);
+        assert_eq!(fixed.port_model, PortModel::TruePorts(1));
     }
 
     #[test]

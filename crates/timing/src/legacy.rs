@@ -349,6 +349,7 @@ impl<P: Probe> LegacySim<P> {
         stats.dcache = self.mem.dcache_stats();
         stats.lvc = self.mem.lvc_stats();
         stats.l2 = self.mem.l2_stats();
+        stats.stacked = self.mem.stacked_stats();
         stats.steer_fallbacks = self.mem.steer_fallbacks();
         if let Some(vp) = &self.vpred {
             stats.value_predictions = vp.predictions();

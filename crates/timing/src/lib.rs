@@ -56,7 +56,7 @@ mod valuepred;
 mod wheel;
 
 pub use cache::{Cache, CacheStats, MemSystem, Route};
-pub use config::{CacheConfig, CoreMode, MachineConfig, PortModel, RecoveryMode};
+pub use config::{BackendConfig, CacheConfig, CoreMode, MachineConfig, PortModel, RecoveryMode};
 pub use fault::{FaultKind, TimingFault};
 pub use metrics::SimStats;
 pub use pipeline::{SegmentRun, TimingSim};

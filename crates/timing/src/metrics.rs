@@ -51,6 +51,10 @@ pub struct SimStats {
     pub lvc: Option<CacheStats>,
     /// L2 hit/miss counts.
     pub l2: CacheStats,
+    /// Backend-device hit/miss counts (die-stacked cache fills, or burst
+    /// row hits vs row opens); `None` when the configured backend keeps no
+    /// device state (baseline chain, stacked flat memory).
+    pub stacked: Option<CacheStats>,
     /// Ids of injected faults ([`crate::TimingFault`]) that actually fired
     /// during the run, in ascending order. Empty in normal simulation.
     pub faults_applied: Vec<u32>,

@@ -25,8 +25,9 @@ use crate::probe::StallCause;
 
 /// Blob magic: "ARLS" (ARL machine State).
 pub(crate) const STATE_MAGIC: [u8; 4] = *b"ARLS";
-/// Blob format version.
-pub(crate) const STATE_VERSION: u8 = 1;
+/// Blob format version. v2 added the memory-backend identity tag and
+/// per-backend device state to the `MemSystem` section.
+pub(crate) const STATE_VERSION: u8 = 2;
 /// Core tag for state captured by the event-driven SoA core.
 pub(crate) const CORE_EVENT: u8 = 0;
 /// Core tag for state captured by the legacy cycle-ticking core.

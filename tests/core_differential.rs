@@ -88,6 +88,38 @@ macro_rules! figure8_differential {
     };
 }
 
+/// The backend axis: every composable memory backend must be
+/// core-invariant too, on both the conventional and the decoupled
+/// machine, and device backends must surface their device stats.
+#[test]
+fn backends_bit_identical_across_cores() {
+    use arl::timing::BackendConfig;
+    for name in ["go", "tomcatv"] {
+        let entries = entries_for(name);
+        for backend in BackendConfig::ALL {
+            for base in [
+                MachineConfig::baseline_2_0(),
+                MachineConfig::decoupled(3, 3),
+            ] {
+                let config = base.with_backend(backend);
+                let label = format!("{name} on {}", config.name);
+                let stats = assert_cores_agree(&entries, &config, &label);
+                let expects_device = matches!(
+                    backend,
+                    BackendConfig::StackedCache
+                        | BackendConfig::StackedMemCache
+                        | BackendConfig::Burst
+                );
+                assert_eq!(
+                    stats.stacked.is_some(),
+                    expects_device,
+                    "{label}: backend device stats presence is wrong"
+                );
+            }
+        }
+    }
+}
+
 figure8_differential! {
     figure8_bit_identical_go => "go",
     figure8_bit_identical_m88ksim => "m88ksim",

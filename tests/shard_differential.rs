@@ -168,6 +168,37 @@ shard_differential! {
     stitched_equals_serial_mgrid => "mgrid",
 }
 
+/// The backend axis: the state blob carries per-backend device state
+/// (stacked-cache tags, open burst rows), so the mid-cycle cut-and-resume
+/// must stay unobservable under every backend, on both cores.
+#[test]
+fn stitched_equals_serial_per_backend() {
+    use arl::timing::BackendConfig;
+    let name = "compress";
+    let (program, trace) = snapshotted(name);
+    for backend in BackendConfig::ALL {
+        for core in [CoreMode::Event, CoreMode::Legacy] {
+            let mut config = MachineConfig::decoupled(3, 3).with_backend(backend);
+            config.core = core;
+            let label = format!("{name} on {} ({core:?})", config.name);
+            let (serial_stats, serial_rec) = timing_trace_probed(&program, &trace, name, &config);
+            let run = replay_sharded(&program, &trace, name, &config, 3, true);
+            assert_eq!(
+                run.stats, serial_stats,
+                "{label}: sharded SimStats diverged from serial"
+            );
+            assert_eq!(
+                run.recorder
+                    .expect("probed run returns a recorder")
+                    .to_json()
+                    .render(),
+                serial_rec.to_json().render(),
+                "{label}: sharded probe JSON diverged from serial"
+            );
+        }
+    }
+}
+
 /// The reporting layer sees no difference either: a results table built
 /// from sharded stats renders byte-for-byte the same as one built from
 /// serial stats.
