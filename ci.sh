@@ -49,6 +49,35 @@ ARL_SCALE=tiny ARL_FAULT=all:42:2 \
     cargo run --quiet --release -p arl-bench --bin fault_campaign > /dev/null
 diff "$smoke_dir/full/BENCH_faults.json" "$smoke_dir/resumed/BENCH_faults.json"
 
+echo "==> fault-campaign kill-resume gate under sharding (ARL_SHARD=2)"
+# The same interrupt/resume cycle with sharded baseline replays: the
+# shard knob must be identity-neutral — the merged document must still
+# be byte-identical to the *unsharded* uninterrupted run.
+mkdir -p "$smoke_dir/shfirst" "$smoke_dir/shresumed"
+ARL_SCALE=tiny ARL_FAULT=all:42:2 ARL_MAX_JOBS=1 ARL_SHARD=2 \
+    ARL_CHECKPOINT="$smoke_dir/sharded.ckpt" ARL_JSON="$smoke_dir/shfirst" \
+    cargo run --quiet --release -p arl-bench --bin fault_campaign > /dev/null
+ARL_SCALE=tiny ARL_FAULT=all:42:2 ARL_SHARD=2 \
+    ARL_CHECKPOINT="$smoke_dir/sharded.ckpt" ARL_JSON="$smoke_dir/shresumed" \
+    cargo run --quiet --release -p arl-bench --bin fault_campaign > /dev/null
+diff "$smoke_dir/full/BENCH_faults.json" "$smoke_dir/shresumed/BENCH_faults.json"
+
+echo "==> chaos smoke gate (2 seeded points: one SIGKILL, one torn write)"
+# Two points of the seeded rotation — point 0 SIGKILLs the child at a
+# durable op, point 1 tears a write short — then the harness proves loud
+# recovery and byte-identical merged output, and the fingerprint guard
+# refuses a mismatched resume naming both identities.
+mkdir -p "$smoke_dir/chaos"
+ARL_CHAOS_POINTS=2 ARL_CHAOS_DIR="$smoke_dir/chaos/work" \
+    ARL_JSON="$smoke_dir/chaos" \
+    cargo run --quiet --release -p arl-bench --bin bench_chaos
+test -s "$smoke_dir/chaos/BENCH_chaos.json"
+grep -q '"schema":"arl-chaos/v1"' "$smoke_dir/chaos/BENCH_chaos.json"
+grep -q '"silent":0' "$smoke_dir/chaos/BENCH_chaos.json"
+grep -q '"fatal":0' "$smoke_dir/chaos/BENCH_chaos.json"
+grep -q '"recovered":1' "$smoke_dir/chaos/BENCH_chaos.json"
+grep -q '"all_identical":true' "$smoke_dir/chaos/BENCH_chaos.json"
+
 echo "==> snapshot-shard smoke gate (ARL_SHARD=3, stitched vs serial)"
 # One workload, three chained shard jobs over trace snapshots, plus an
 # interrupt/resume cycle against a ledger: the stitched stats must be

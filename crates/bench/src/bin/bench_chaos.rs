@@ -1,0 +1,7 @@
+//! Crash-consistency chaos campaign: SIGKILL and I/O-fault the
+//! `fault_campaign` pipeline at seeded points, then prove recovery is
+//! loud, exactly-once, and byte-identical. See `arl_bench::chaos`.
+
+fn main() {
+    arl_bench::run_chaos_main();
+}

@@ -38,7 +38,7 @@ use arl_timing::{MachineConfig, SimStats, TimingFault};
 use arl_trace::Trace;
 use arl_workloads::suite;
 
-use crate::runner::{scale_label, write_named_json, Checkpoint, JobFailure, Pool};
+use crate::runner::{scale_label, write_named_json, Checkpoint, JobFailure, Pool, RunIdentity};
 use crate::{capture_trace, timing_trace, ExperimentOptions};
 
 /// `BENCH_faults.json` schema identifier.
@@ -154,6 +154,23 @@ fn plan_spec(plans: &[LayerPlan]) -> String {
         .join(",")
 }
 
+/// The checkpoint-ledger fingerprint for a fault campaign: everything
+/// that shapes the recorded payloads. `ARL_SHARD` is deliberately
+/// excluded — sharded and unsharded baselines produce bit-identical
+/// stats (the shard differential suite proves it), so their ledgers are
+/// interchangeable. Threads are excluded for the same reason, and
+/// `ARL_MAX_JOBS` is excluded because a job cap is an *interruption* of
+/// the same campaign, not a different campaign — a capped run must
+/// brand its ledger so the uncapped resume is accepted.
+pub fn campaign_identity(opts: &ExperimentOptions, plans: &[LayerPlan]) -> RunIdentity {
+    let workloads = suite().iter().map(|s| s.name).collect::<Vec<_>>().join(",");
+    RunIdentity::new("faults")
+        .field("scale", scale_label(opts.scale))
+        .field("plan", plan_spec(plans))
+        .field("config", "decoupled(3,3)")
+        .field("workloads", workloads)
+}
+
 /// Runs the campaign with an env-configured supervision policy
 /// (`ARL_DEADLINE`, `ARL_RETRIES`): `plans` faults per workload over the
 /// first `max_jobs` suite workloads (all 12 when `None`), resuming
@@ -207,7 +224,26 @@ pub fn fault_campaign_pooled(
         let program = spec.build(opts.scale);
         let trace = capture_trace(&program, spec.name);
         let config = MachineConfig::decoupled(3, 3);
-        let baseline = timing_trace(&program, &trace, spec.name, &config);
+        // With `ARL_SHARD` > 1 the baseline replay runs as a chain of
+        // shard segments over a snapshotted capture; its stats are
+        // bit-identical to the serial baseline, so fault planning and
+        // every faulty replay keep using the plain capture and the
+        // emitted document stays byte-identical to an unsharded run.
+        let baseline = if opts.shards > 1 {
+            let snapshotted =
+                crate::capture_trace_snapshotted(&program, spec.name, opts.snapshot_interval);
+            crate::shard::replay_sharded(
+                &program,
+                &snapshotted,
+                spec.name,
+                &config,
+                opts.shards,
+                false,
+            )
+            .stats
+        } else {
+            timing_trace(&program, &trace, spec.name, &config)
+        };
         let base_obs = observation(&baseline);
         let bytes = trace.as_bytes();
 
@@ -426,7 +462,11 @@ pub fn run_faults_main() {
         }
     };
     let max_jobs = max_jobs_from_value(std::env::var("ARL_MAX_JOBS").ok().as_deref());
-    let checkpoint = match Checkpoint::from_env() {
+    // A ledger the user asked for but that cannot be opened — or that
+    // fingerprints a different run — is a hard error: proceeding would
+    // either silently lose resume protection or merge foreign payloads.
+    let identity = campaign_identity(&opts, &plans);
+    let checkpoint = match Checkpoint::from_env(&identity) {
         Ok(ckpt) => ckpt,
         Err(e) => {
             eprintln!("[arl-bench] cannot open ARL_CHECKPOINT: {e}");
@@ -435,6 +475,12 @@ pub fn run_faults_main() {
     };
     let run = fault_campaign_with(&opts, &plans, max_jobs, checkpoint);
     print!("{}", run.text);
+    // Audit line for supervisors (the chaos harness asserts a fully
+    // resumed campaign re-executes zero functional instructions).
+    eprintln!(
+        "[arl-bench] functional instructions executed: {}",
+        arl_sim::functional_instructions_executed()
+    );
     if std::env::var_os("ARL_JSON").is_some() {
         match write_named_json("BENCH_faults.json", &run.doc) {
             Ok(path) => eprintln!("[arl-bench] wrote {}", path.display()),
@@ -518,6 +564,34 @@ mod tests {
         // totals object is still present and all-zero.
         let totals = run.doc.get("totals").unwrap();
         assert_eq!(totals.get("fault_masked").unwrap().as_u64(), Some(0));
+    }
+
+    #[test]
+    fn sharded_baseline_keeps_the_document_byte_identical() {
+        // `ARL_SHARD=2` reroutes the baseline replay through chained
+        // shard segments; fault planning and faulty replays stay on the
+        // plain capture, so the whole document must not move a byte —
+        // this is what lets one ledger serve sharded and unsharded runs.
+        let serial = fault_campaign_with(&tiny_opts(), &plans(42, 1), Some(1), None);
+        let sharded_opts = tiny_opts().with_shards(2, 5_000);
+        let sharded = fault_campaign_with(&sharded_opts, &plans(42, 1), Some(1), None);
+        assert_eq!(serial.doc.render(), sharded.doc.render());
+        assert_eq!(serial.text, sharded.text);
+    }
+
+    #[test]
+    fn campaign_identity_pins_plan_scale_and_workload_set() {
+        let a = campaign_identity(&tiny_opts(), &plans(42, 2));
+        let b = campaign_identity(&tiny_opts(), &plans(42, 2));
+        assert_eq!(a, b);
+        assert_ne!(a, campaign_identity(&tiny_opts(), &plans(43, 2)));
+        // Sharding and job caps are deliberately identity-neutral (see
+        // the doc): both are ways of *interrupting* the same campaign.
+        let sharded = tiny_opts().with_shards(2, 5_000);
+        assert_eq!(a, campaign_identity(&sharded, &plans(42, 2)));
+        let rendered = a.render();
+        assert!(rendered.contains("\"experiment\":\"faults\""), "{rendered}");
+        assert!(rendered.contains("trace:42:2"), "{rendered}");
     }
 
     #[test]

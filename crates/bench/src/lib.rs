@@ -39,6 +39,7 @@
 //! ```
 
 mod backends;
+mod chaos;
 mod experiments;
 mod faults;
 mod knob;
@@ -48,12 +49,15 @@ mod speed;
 
 pub use backends::{backends_bench, run_backends_main, BackendsBenchRun, BACKENDS_SCHEMA};
 
+pub use chaos::{chaos_campaign, run_chaos_main, ChaosOptions, ChaosRun, CHAOS_SCHEMA};
+
 pub use knob::{backend_from_env, backend_from_value, knob_parsed, knob_u64};
 
 pub use shard::{
     replay_sharded, replay_sharded_supervised, run_shard_main, shard_bench_with, shard_from_env,
-    shard_from_value, shard_plan, snapshot_interval_from_env, snapshot_interval_from_value,
-    stats_fingerprint, ShardBenchRun, ShardedReplay, DEFAULT_SNAPSHOT_INTERVAL, SHARD_SCHEMA,
+    shard_from_value, shard_identity, shard_plan, snapshot_interval_from_env,
+    snapshot_interval_from_value, stats_fingerprint, ShardBenchRun, ShardedReplay,
+    DEFAULT_SNAPSHOT_INTERVAL, SHARD_SCHEMA,
 };
 
 pub use speed::{
@@ -61,8 +65,8 @@ pub use speed::{
 };
 
 pub use faults::{
-    fault_campaign_pooled, fault_campaign_with, max_jobs_from_value, run_faults_main,
-    FaultCampaignRun, FAULTS_SCHEMA,
+    campaign_identity, fault_campaign_pooled, fault_campaign_with, max_jobs_from_value,
+    run_faults_main, FaultCampaignRun, FAULTS_SCHEMA,
 };
 
 pub use experiments::{
@@ -71,9 +75,10 @@ pub use experiments::{
     ExperimentOptions, ExperimentRun, TraceMode,
 };
 pub use runner::{
-    deadline_from_value, dedupe_failures, retries_from_value, threads_from_value, timed_record,
-    write_probe_json, Checkpoint, FailureKind, JobFailure, Pool, RunRecord, SuiteFailures,
-    SuiteReport, JSON_SCHEMA, PROBE_SCHEMA,
+    deadline_from_value, dedupe_failures, force_from_env, retries_from_value, threads_from_value,
+    timed_record, write_named_json, write_probe_json, Checkpoint, FailureKind, JobFailure,
+    LedgerView, Pool, RunIdentity, RunRecord, SuiteFailures, SuiteReport, CHECKPOINT_SCHEMA,
+    JSON_SCHEMA, PROBE_SCHEMA,
 };
 
 use arl_asm::Program;

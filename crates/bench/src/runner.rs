@@ -9,7 +9,6 @@
 //! writes a `BENCH_<experiment>.json` trajectory file.
 
 use std::collections::HashMap;
-use std::io::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -522,7 +521,7 @@ pub fn write_named_json(file_name: &str, doc: &Json) -> std::io::Result<PathBuf>
         }
         None => PathBuf::from(file_name),
     };
-    std::fs::write(&file, doc.render() + "\n")?;
+    arl_sink::durable_write(&file, (doc.render() + "\n").as_bytes())?;
     Ok(file)
 }
 
@@ -593,7 +592,7 @@ impl SuiteReport {
         } else {
             path.to_path_buf()
         };
-        std::fs::write(&file, self.to_json().render() + "\n")?;
+        arl_sink::durable_write(&file, (self.to_json().render() + "\n").as_bytes())?;
         Ok(file)
     }
 
@@ -608,62 +607,377 @@ impl SuiteReport {
     }
 }
 
-/// Append-only per-job completion log backing `ARL_CHECKPOINT` resume.
+/// Ledger format tag; the first token of every v2 checkpoint header.
+pub const CHECKPOINT_SCHEMA: &str = "arl-ckpt/v2";
+
+/// Identity fingerprint of the sweep that owns a checkpoint ledger.
 ///
-/// Each finished job appends one `<key>\t<compact-json>\n` line and the
-/// file is flushed immediately, so a killed sweep loses at most the job
-/// it was executing. On reopen, completed jobs are looked up by key and
-/// their recorded payloads are merged back **verbatim** — a resumed sweep
-/// therefore re-runs only the missing jobs and its merged output is
-/// byte-identical to an uninterrupted run, provided the payloads contain
-/// no wall-clock fields. A trailing partial line (torn write at kill
-/// time) is detected and ignored, which simply re-runs that one job.
+/// The fingerprint names everything that makes recorded payloads
+/// meaningful for a resume: the experiment, its configuration (backend,
+/// shard plan, fault plan, …), the workload set, and — where the sweep
+/// replays a captured trace — that trace's checksum. Two sweeps with
+/// different fingerprints must never merge through one ledger; payloads
+/// recorded under one configuration are silently wrong under another.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunIdentity {
+    experiment: String,
+    fields: Vec<(String, String)>,
+}
+
+impl RunIdentity {
+    /// A fingerprint for `experiment` with no fields yet.
+    pub fn new(experiment: &str) -> RunIdentity {
+        RunIdentity {
+            experiment: experiment.to_string(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Adds one `key = value` fingerprint field (builder style). Field
+    /// order is part of the rendered identity, so callers must add
+    /// fields in a fixed order.
+    pub fn field(mut self, key: &str, value: impl std::fmt::Display) -> RunIdentity {
+        self.fields.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Compact JSON rendering; this exact string is what the ledger
+    /// header carries and what identity comparison is defined over.
+    pub fn render(&self) -> String {
+        Json::obj([
+            ("experiment", Json::from(self.experiment.as_str())),
+            (
+                "fields",
+                Json::obj(
+                    self.fields
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::from(v.as_str()))),
+                ),
+            ),
+        ])
+        .render()
+    }
+}
+
+fn checksum_hex(body: &str) -> String {
+    format!("{:016x}", arl_trace::fnv1a64(body.as_bytes()))
+}
+
+/// Why a ledger file could not be parsed as a v2 ledger.
+enum LedgerDamage {
+    /// No newline at all: the process died while writing the header.
+    /// There can be no entries, so the ledger restarts empty.
+    TornHeader,
+    /// The header line is present but unreadable (wrong magic, failed
+    /// checksum, unparsable identity). Resuming would risk merging
+    /// foreign data, so this is a hard error.
+    Corrupt(String),
+}
+
+struct ParsedLedger {
+    /// The header line exactly as stored (no trailing newline).
+    header: String,
+    /// The identity JSON carried by the header.
+    identity: String,
+    /// `(key, payload)` pairs in record order, duplicates included.
+    entries: Vec<(String, String)>,
+    /// Byte length of the valid prefix; anything beyond is torn/corrupt.
+    good_bytes: u64,
+    /// Whether a torn or corrupt tail was dropped.
+    dropped_tail: bool,
+}
+
+fn parse_ledger(text: &str) -> Result<ParsedLedger, LedgerDamage> {
+    let Some(header_end) = text.find('\n') else {
+        return Err(LedgerDamage::TornHeader);
+    };
+    let header = &text[..header_end];
+    let parts: Vec<&str> = header.split('\t').collect();
+    let [magic, identity, chk] = parts.as_slice() else {
+        return Err(LedgerDamage::Corrupt(format!(
+            "header has {} tab-separated fields, expected 3",
+            parts.len()
+        )));
+    };
+    if *magic != CHECKPOINT_SCHEMA {
+        return Err(LedgerDamage::Corrupt(format!(
+            "header magic {magic:?} is not {CHECKPOINT_SCHEMA:?}"
+        )));
+    }
+    if *chk != checksum_hex(&header[..header.len() - chk.len() - 1]) {
+        return Err(LedgerDamage::Corrupt(
+            "header checksum mismatch".to_string(),
+        ));
+    }
+    match Json::parse(identity) {
+        Ok(doc) if doc.get("experiment").and_then(Json::as_str).is_some() => {}
+        _ => {
+            return Err(LedgerDamage::Corrupt(
+                "header identity is not a fingerprint object".to_string(),
+            ));
+        }
+    }
+
+    let mut entries: Vec<(String, String)> = Vec::new();
+    let mut offset = header_end + 1;
+    let mut dropped_tail = false;
+    while offset < text.len() {
+        let Some(line_end) = text[offset..].find('\n').map(|i| offset + i) else {
+            // Torn final line: a kill mid-append. Its job re-runs.
+            dropped_tail = true;
+            break;
+        };
+        let line = &text[offset..line_end];
+        let parsed = line.rsplit_once('\t').and_then(|(body, chk)| {
+            if chk != checksum_hex(body) {
+                return None;
+            }
+            let (seq, rest) = body.split_once('\t')?;
+            let (key, payload) = rest.split_once('\t')?;
+            (seq.parse::<u64>().ok()? == entries.len() as u64).then_some((key, payload))
+        });
+        match parsed {
+            Some((key, payload)) => entries.push((key.to_string(), payload.to_string())),
+            None => {
+                // A failed checksum or broken sequence invalidates this
+                // entry and everything after it: entries past a corrupt
+                // point may depend on state the corruption destroyed
+                // (e.g. shard resume chains), so the tail is dropped
+                // wholesale rather than cherry-picked.
+                dropped_tail = true;
+                break;
+            }
+        }
+        offset = line_end + 1;
+    }
+    Ok(ParsedLedger {
+        header: header.to_string(),
+        identity: identity.to_string(),
+        entries,
+        good_bytes: offset as u64,
+        dropped_tail,
+    })
+}
+
+/// A read-only parse of a checkpoint ledger (nothing is truncated or
+/// written). Lets a supervisor count surviving entries in a ledger it
+/// does not own — e.g. the chaos harness auditing a killed child.
+pub struct LedgerView {
+    /// Identity JSON from the header.
+    pub identity: String,
+    /// `(key, payload)` in record order, duplicates included.
+    pub entries: Vec<(String, String)>,
+    /// Whether a torn or corrupt tail follows the valid prefix.
+    pub torn_tail: bool,
+}
+
+impl LedgerView {
+    /// Distinct completed keys (what a resume would skip).
+    pub fn live(&self) -> usize {
+        let mut keys: Vec<&str> = self.entries.iter().map(|(k, _)| k.as_str()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        keys.len()
+    }
+}
+
+/// Append-only per-job completion ledger backing `ARL_CHECKPOINT` resume.
+///
+/// # Format (v2)
+///
+/// ```text
+/// arl-ckpt/v2\t<identity-json>\t<fnv1a64-hex>
+/// <seq>\t<key>\t<compact-json>\t<fnv1a64-hex>
+/// ```
+///
+/// The header fingerprints the run (see [`RunIdentity`]); `open` refuses
+/// to resume under a different fingerprint unless forced, naming both
+/// identities. Each entry carries a monotonic sequence number and an
+/// FNV-1a64 checksum over `<seq>\t<key>\t<payload>`, so a torn append, a
+/// flipped byte, or a truncated-but-still-valid-JSON payload all fail
+/// verification; the valid prefix is kept and the damaged tail is
+/// physically truncated on open — affected jobs re-run, nothing corrupt
+/// is ever merged.
+///
+/// # Durability
+///
+/// The handle stays open for the ledger's lifetime and every append goes
+/// through [`arl_sink::append_durable`] (`write` + `sync_data`), so a
+/// SIGKILL loses at most the in-flight append — and a torn in-flight
+/// append is exactly what the checksums catch on reopen. Payloads are
+/// merged back **verbatim** on resume, so a resumed sweep's output is
+/// byte-identical to an uninterrupted run provided payloads contain no
+/// wall-clock fields.
+#[derive(Debug)]
 pub struct Checkpoint {
     path: PathBuf,
+    file: std::fs::File,
+    header: String,
     done: HashMap<String, String>,
+    /// First-recorded order of live keys (compaction preserves it).
+    order: Vec<String>,
+    next_seq: u64,
 }
 
 impl Checkpoint {
-    /// Opens (or starts) the completion log at `path`, loading every
-    /// intact entry already recorded.
+    fn header_line(identity: &RunIdentity) -> String {
+        let body = format!("{CHECKPOINT_SCHEMA}\t{}", identity.render());
+        let chk = checksum_hex(&body);
+        format!("{body}\t{chk}")
+    }
+
+    fn open_handle(path: &Path) -> std::io::Result<std::fs::File> {
+        std::fs::OpenOptions::new()
+            .read(true)
+            .append(true)
+            .create(true)
+            .open(path)
+    }
+
+    /// Opens (or starts) the ledger at `path` for the run identified by
+    /// `identity`, loading every intact entry already recorded and
+    /// truncating any torn or corrupt tail.
     ///
     /// # Errors
     ///
-    /// I/O errors other than the file not existing yet.
-    pub fn open(path: &Path) -> std::io::Result<Checkpoint> {
-        let mut done = HashMap::new();
-        match std::fs::read_to_string(path) {
-            Ok(text) => {
-                for line in text.lines() {
-                    // A torn line is missing its tab or carries cut-off
-                    // JSON; either way it fails these checks and the job
-                    // is simply re-run on resume.
-                    if let Some((key, payload)) = line.split_once('\t') {
-                        if Json::parse(payload).is_ok() {
-                            done.insert(key.to_string(), payload.to_string());
-                        }
-                    }
-                }
+    /// I/O errors; an unreadable (non-v2 or checksum-failing) header; or
+    /// a fingerprint mismatch when `force` is false — the error names
+    /// both identities so the operator can see exactly what differed.
+    pub fn open(path: &Path, identity: &RunIdentity, force: bool) -> std::io::Result<Checkpoint> {
+        let mut file = Self::open_handle(path)?;
+        // Read as bytes and decode lossily: a non-UTF-8 byte (disk
+        // corruption) must cost the tail from its line onward, not make
+        // the whole ledger unreadable. Replacement chars corrupt the
+        // damaged line's checksum, so `parse_ledger` drops it; offsets
+        // before the first invalid byte are unshifted, so `good_bytes`
+        // stays a valid file offset for the truncation below.
+        let raw = {
+            use std::io::Read as _;
+            let mut raw = Vec::new();
+            file.read_to_end(&mut raw)?;
+            raw
+        };
+        let text = String::from_utf8_lossy(&raw);
+        let expected_header = Self::header_line(identity);
+        let fresh = |file: &mut std::fs::File| -> std::io::Result<()> {
+            file.set_len(0)?;
+            arl_sink::append_durable(file, path, format!("{expected_header}\n").as_bytes())
+        };
+        if text.is_empty() {
+            fresh(&mut file)?;
+            return Ok(Checkpoint {
+                path: path.to_path_buf(),
+                file,
+                header: expected_header,
+                done: HashMap::new(),
+                order: Vec::new(),
+                next_seq: 0,
+            });
+        }
+        let parsed = match parse_ledger(&text) {
+            Ok(parsed) => parsed,
+            Err(LedgerDamage::TornHeader) => {
+                eprintln!(
+                    "[arl-bench] checkpoint {}: torn header (crash during creation); \
+                     restarting the ledger",
+                    path.display()
+                );
+                fresh(&mut file)?;
+                return Ok(Checkpoint {
+                    path: path.to_path_buf(),
+                    file,
+                    header: expected_header,
+                    done: HashMap::new(),
+                    order: Vec::new(),
+                    next_seq: 0,
+                });
             }
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
-            Err(e) => return Err(e),
+            Err(LedgerDamage::Corrupt(why)) => {
+                return Err(std::io::Error::other(format!(
+                    "checkpoint {} is not a readable {CHECKPOINT_SCHEMA} ledger: {why}",
+                    path.display()
+                )));
+            }
+        };
+        if parsed.identity != identity.render() {
+            if !force {
+                return Err(std::io::Error::other(format!(
+                    "checkpoint {} was written by a different run; refusing to merge.\n  \
+                     ledger identity:  {}\n  current identity: {}\n  \
+                     set ARL_CHECKPOINT_FORCE=1 to resume it anyway",
+                    path.display(),
+                    parsed.identity,
+                    identity.render()
+                )));
+            }
+            eprintln!(
+                "[arl-bench] ARL_CHECKPOINT_FORCE: resuming ledger {} (identity {}) under \
+                 current identity {}",
+                path.display(),
+                parsed.identity,
+                identity.render()
+            );
+        }
+        if parsed.dropped_tail {
+            eprintln!(
+                "[arl-bench] checkpoint {}: dropping torn/corrupt tail after {} intact entries",
+                path.display(),
+                parsed.entries.len()
+            );
+            file.set_len(parsed.good_bytes)?;
+            file.sync_data()?;
+        }
+        let next_seq = parsed.entries.len() as u64;
+        let mut done = HashMap::new();
+        let mut order = Vec::new();
+        for (key, payload) in parsed.entries {
+            if done.insert(key.clone(), payload).is_none() {
+                order.push(key);
+            }
         }
         Ok(Checkpoint {
             path: path.to_path_buf(),
+            file,
+            header: parsed.header,
             done,
+            order,
+            next_seq,
         })
     }
 
-    /// Honours `ARL_CHECKPOINT`: opens the log it names, or `None` when
-    /// the variable is unset.
+    /// Honours `ARL_CHECKPOINT` (+ `ARL_CHECKPOINT_FORCE`): opens the
+    /// ledger it names for `identity`, or `None` when unset.
     ///
     /// # Errors
     ///
-    /// I/O errors from [`Checkpoint::open`].
-    pub fn from_env() -> std::io::Result<Option<Checkpoint>> {
+    /// I/O and identity errors from [`Checkpoint::open`].
+    pub fn from_env(identity: &RunIdentity) -> std::io::Result<Option<Checkpoint>> {
         match std::env::var_os("ARL_CHECKPOINT") {
-            Some(path) => Checkpoint::open(Path::new(&path)).map(Some),
+            Some(path) => Checkpoint::open(Path::new(&path), identity, force_from_env()).map(Some),
             None => Ok(None),
+        }
+    }
+
+    /// Parses an existing ledger without opening it for writing (nothing
+    /// is truncated); `Err` for a missing file or unreadable header.
+    pub fn inspect(path: &Path) -> std::io::Result<LedgerView> {
+        // Lossy for the same reason as `open`: flipped bytes must read
+        // as a damaged tail, not an unreadable ledger.
+        let text = String::from_utf8_lossy(&std::fs::read(path)?).into_owned();
+        match parse_ledger(&text) {
+            Ok(parsed) => Ok(LedgerView {
+                identity: parsed.identity,
+                entries: parsed.entries,
+                torn_tail: parsed.dropped_tail,
+            }),
+            Err(LedgerDamage::TornHeader) => Err(std::io::Error::other(format!(
+                "checkpoint {} has a torn header",
+                path.display()
+            ))),
+            Err(LedgerDamage::Corrupt(why)) => Err(std::io::Error::other(format!(
+                "checkpoint {} is not a readable {CHECKPOINT_SCHEMA} ledger: {why}",
+                path.display()
+            ))),
         }
     }
 
@@ -682,23 +996,67 @@ impl Checkpoint {
         self.done.is_empty()
     }
 
-    /// Records `key` as complete with `payload`, appending to the log and
-    /// flushing before returning.
+    /// Records `key` as complete with `payload`: one checksummed,
+    /// sequence-numbered line durably appended through the open handle.
     ///
     /// # Errors
     ///
-    /// I/O errors opening, appending to, or flushing the log.
+    /// I/O errors appending or syncing, or a key containing the line
+    /// separators (`\t`/`\n`) the format reserves.
     pub fn record(&mut self, key: &str, payload: &Json) -> std::io::Result<()> {
+        if key.contains('\t') || key.contains('\n') {
+            return Err(std::io::Error::other(format!(
+                "checkpoint key {key:?} contains a reserved separator"
+            )));
+        }
         let rendered = payload.render();
-        let mut file = std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&self.path)?;
-        writeln!(file, "{key}\t{rendered}")?;
-        file.flush()?;
-        self.done.insert(key.to_string(), rendered);
+        let body = format!("{}\t{key}\t{rendered}", self.next_seq);
+        let chk = checksum_hex(&body);
+        arl_sink::append_durable(
+            &mut self.file,
+            &self.path,
+            format!("{body}\t{chk}\n").as_bytes(),
+        )?;
+        self.next_seq += 1;
+        if self.done.insert(key.to_string(), rendered).is_none() {
+            self.order.push(key.to_string());
+        }
         Ok(())
     }
+
+    /// Rewrites the ledger to exactly one entry per live key (first-
+    /// recorded order, latest payload, resequenced from 0), dropping
+    /// superseded duplicates — e.g. intermediate shard-state blobs — that
+    /// long campaign ledgers accumulate. The rewrite is an atomic
+    /// publication ([`arl_sink::durable_write`]), so a crash mid-compact
+    /// leaves the previous ledger intact.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the rewrite or from reopening the handle.
+    pub fn compact(&mut self) -> std::io::Result<()> {
+        let mut text = format!("{}\n", self.header);
+        for (seq, key) in self.order.iter().enumerate() {
+            let Some(payload) = self.done.get(key) else {
+                continue;
+            };
+            let body = format!("{seq}\t{key}\t{payload}");
+            let chk = checksum_hex(&body);
+            text.push_str(&format!("{body}\t{chk}\n"));
+        }
+        arl_sink::durable_write(&self.path, text.as_bytes())?;
+        // The old handle points at the replaced inode; reopen.
+        self.file = Self::open_handle(&self.path)?;
+        self.next_seq = self.order.len() as u64;
+        Ok(())
+    }
+}
+
+/// Reads `ARL_CHECKPOINT_FORCE` (any value but `0`/empty arms it).
+pub fn force_from_env() -> bool {
+    std::env::var("ARL_CHECKPOINT_FORCE")
+        .map(|v| !v.trim().is_empty() && v.trim() != "0")
+        .unwrap_or(false)
 }
 
 pub(crate) fn scale_label(scale: Scale) -> String {
@@ -712,6 +1070,7 @@ pub(crate) fn scale_label(scale: Scale) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::Write as _;
 
     #[test]
     fn map_preserves_order_and_covers_every_item() {
@@ -956,34 +1315,162 @@ mod tests {
         assert_eq!(retries_from_value(Some("many")), 0);
     }
 
-    #[test]
-    fn checkpoint_records_resume_and_ignore_torn_lines() {
-        let dir = std::env::temp_dir().join(format!("arl-ckpt-test-{}", std::process::id()));
+    fn ckpt_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("arl-ckpt-test-{}-{tag}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("jobs.ckpt");
+        dir
+    }
 
-        let mut ckpt = Checkpoint::open(&path).unwrap();
+    fn unit_identity() -> RunIdentity {
+        RunIdentity::new("unit")
+            .field("backend", "baseline")
+            .field("workloads", "go,gcc,perl")
+    }
+
+    #[test]
+    fn checkpoint_records_resume_and_truncate_torn_tails() {
+        let dir = ckpt_dir("torn");
+        let path = dir.join("jobs.ckpt");
+        let identity = unit_identity();
+
+        let mut ckpt = Checkpoint::open(&path, &identity, false).unwrap();
         assert!(ckpt.is_empty());
         ckpt.record("go/0", &Json::obj([("cycles", Json::from(100u64))]))
             .unwrap();
         ckpt.record("gcc/1", &Json::obj([("cycles", Json::from(200u64))]))
             .unwrap();
+        drop(ckpt);
 
         // Simulate a kill mid-append: a torn trailing line.
+        let intact = std::fs::read(&path).unwrap();
         {
             let mut file = std::fs::OpenOptions::new()
                 .append(true)
                 .open(&path)
                 .unwrap();
-            write!(file, "perl/2\t{{\"cyc").unwrap();
+            write!(file, "2\tperl/2\t{{\"cyc").unwrap();
         }
 
-        let reopened = Checkpoint::open(&path).unwrap();
+        let reopened = Checkpoint::open(&path, &identity, false).unwrap();
         assert_eq!(reopened.len(), 2);
         assert_eq!(reopened.get("go/0"), Some(r#"{"cycles":100}"#));
         assert_eq!(reopened.get("gcc/1"), Some(r#"{"cycles":200}"#));
-        // The torn job reads as not-done, so a resume re-runs it.
+        // The torn job reads as not-done, so a resume re-runs it …
         assert_eq!(reopened.get("perl/2"), None);
+        drop(reopened);
+        // … and the torn bytes were physically truncated away.
+        assert_eq!(std::fs::read(&path).unwrap(), intact);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_refuses_a_mismatched_identity_naming_both() {
+        let dir = ckpt_dir("identity");
+        let path = dir.join("jobs.ckpt");
+        let theirs = unit_identity();
+        Checkpoint::open(&path, &theirs, false)
+            .unwrap()
+            .record("go/0", &Json::from(1u64))
+            .unwrap();
+
+        let ours = RunIdentity::new("unit")
+            .field("backend", "burst")
+            .field("workloads", "go,gcc,perl");
+        let err = Checkpoint::open(&path, &ours, false).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains(&theirs.render()),
+            "names ledger identity: {msg}"
+        );
+        assert!(
+            msg.contains(&ours.render()),
+            "names current identity: {msg}"
+        );
+        assert!(
+            msg.contains("ARL_CHECKPOINT_FORCE"),
+            "names override: {msg}"
+        );
+
+        // The override resumes anyway, keeping the recorded entries.
+        let forced = Checkpoint::open(&path, &ours, true).unwrap();
+        assert_eq!(forced.get("go/0"), Some("1"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_restarts_over_a_torn_header_and_rejects_foreign_files() {
+        let dir = ckpt_dir("header");
+        let identity = unit_identity();
+
+        // A crash during creation leaves a header with no newline: the
+        // ledger restarts empty (nothing could have been recorded).
+        let torn = dir.join("torn.ckpt");
+        std::fs::write(&torn, CHECKPOINT_SCHEMA.as_bytes()).unwrap();
+        let ckpt = Checkpoint::open(&torn, &identity, false).unwrap();
+        assert!(ckpt.is_empty());
+        drop(ckpt);
+
+        // A file that is not a v2 ledger at all is a hard error, not a
+        // silent fresh start — it might be someone else's data.
+        let foreign = dir.join("foreign.ckpt");
+        std::fs::write(&foreign, b"go/0\t{\"cycles\":100}\n").unwrap();
+        let err = Checkpoint::open(&foreign, &identity, false).unwrap_err();
+        assert!(err.to_string().contains(CHECKPOINT_SCHEMA), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_compaction_keeps_latest_payloads_and_stays_resumable() {
+        let dir = ckpt_dir("compact");
+        let path = dir.join("jobs.ckpt");
+        let identity = unit_identity();
+
+        let mut ckpt = Checkpoint::open(&path, &identity, false).unwrap();
+        for round in 0..5u64 {
+            ckpt.record("state", &Json::from(round)).unwrap();
+        }
+        ckpt.record("go/0", &Json::from(7u64)).unwrap();
+        let before = std::fs::metadata(&path).unwrap().len();
+        ckpt.compact().unwrap();
+        let after = std::fs::metadata(&path).unwrap().len();
+        assert!(
+            after < before,
+            "compaction shrinks the ledger: {after} >= {before}"
+        );
+        assert_eq!(ckpt.len(), 2);
+        assert_eq!(ckpt.get("state"), Some("4"), "latest payload survives");
+        // Appends keep working on the compacted ledger …
+        ckpt.record("gcc/1", &Json::from(9u64)).unwrap();
+        drop(ckpt);
+        // … and a reopen sees the full live set.
+        let reopened = Checkpoint::open(&path, &identity, false).unwrap();
+        assert_eq!(reopened.len(), 3);
+        assert_eq!(reopened.get("state"), Some("4"));
+        assert_eq!(reopened.get("gcc/1"), Some("9"));
+        let view = Checkpoint::inspect(&path).unwrap();
+        assert_eq!(view.live(), 3);
+        assert!(!view.torn_tail);
+        assert_eq!(view.identity, identity.render());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_numeric_payload_is_rejected_not_merged() {
+        // Regression for the v1 design flaw: a payload cut short can
+        // still be valid JSON (`456` → `45`), so JSON-parsability alone
+        // must never gate a merge. The v2 checksum catches it.
+        let dir = ckpt_dir("cutshort");
+        let path = dir.join("jobs.ckpt");
+        let identity = unit_identity();
+        let mut ckpt = Checkpoint::open(&path, &identity, false).unwrap();
+        ckpt.record("go/0", &Json::from(456u64)).unwrap();
+        drop(ckpt);
+        let bytes = std::fs::read(&path).unwrap();
+        // Cut the final entry short so its payload reads `45…` — drop
+        // enough of the tail that the checksum (and newline) are gone.
+        std::fs::write(&path, &bytes[..bytes.len() - 21]).unwrap();
+        let reopened = Checkpoint::open(&path, &identity, false).unwrap();
+        assert_eq!(reopened.get("go/0"), None, "cut-short payload re-runs");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

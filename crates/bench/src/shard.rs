@@ -23,6 +23,7 @@
 //! instructions, default [`DEFAULT_SNAPSHOT_INTERVAL`]; 0 disables).
 
 use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use arl_asm::Program;
@@ -31,7 +32,7 @@ use arl_timing::{MachineConfig, Recorder, SimStats, TimingSim};
 use arl_trace::{Replayer, Trace};
 use arl_workloads::workload;
 
-use crate::runner::{scale_label, write_named_json, Checkpoint};
+use crate::runner::{scale_label, write_named_json, Checkpoint, RunIdentity};
 use crate::{capture_trace_snapshotted, timing_trace, ExperimentOptions};
 
 /// `BENCH_shard.json` schema identifier.
@@ -366,18 +367,46 @@ pub struct ShardBenchRun {
     pub failed: bool,
 }
 
+/// The ledger fingerprint for one shard benchmark: the workload, config,
+/// scale, snapshot cadence, shard-job count, and — because recorded
+/// shard-state blobs are only meaningful for the exact capture they were
+/// replayed from — the FNV-1a64 checksum of the trace container.
+pub fn shard_identity(
+    workload: &str,
+    config_name: &str,
+    scale: &str,
+    interval: u64,
+    shards: usize,
+    trace_checksum: u64,
+) -> RunIdentity {
+    RunIdentity::new("shard")
+        .field("workload", workload)
+        .field("config", config_name)
+        .field("scale", scale)
+        .field("snapshot_interval", interval)
+        .field("shards", shards)
+        .field("trace", format!("{trace_checksum:016x}"))
+}
+
 /// Runs the shard benchmark on one workload: captures a snapshotted
 /// trace, times a serial replay and an `shards`-way sharded replay,
-/// asserts bit-identity, and — when a ledger is given — additionally
+/// asserts bit-identity, and — when a ledger path is given — additionally
 /// times an interrupt-then-resume cycle (`shards − 1` jobs, "crash",
 /// resume) to measure what shard-granular recovery saves over restarting.
+/// The ledger opens *after* capture so its identity can fingerprint the
+/// trace checksum.
+///
+/// # Errors
+///
+/// Ledger I/O failures or an identity mismatch ([`Checkpoint::open`]).
 pub fn shard_bench_with(
     opts: &ExperimentOptions,
     workload_name: &str,
     shards: usize,
     interval: u64,
-    mut ledger: Option<Checkpoint>,
-) -> ShardBenchRun {
+    ledger_path: Option<&Path>,
+    force: bool,
+) -> std::io::Result<ShardBenchRun> {
     let spec = workload(workload_name)
         .unwrap_or_else(|| panic!("ARL_SHARD_WORKLOAD={workload_name} matches no suite workload"));
     let config = MachineConfig::decoupled(3, 3);
@@ -387,6 +416,21 @@ pub fn shard_bench_with(
     let capture_start = Instant::now();
     let trace = capture_trace_snapshotted(&program, spec.name, interval);
     let capture_wall = capture_start.elapsed().as_secs_f64();
+
+    let mut ledger = match ledger_path {
+        Some(path) => {
+            let identity = shard_identity(
+                spec.name,
+                &config.name,
+                &scale,
+                interval,
+                shards,
+                arl_trace::fnv1a64(trace.as_bytes()),
+            );
+            Some(Checkpoint::open(path, &identity, force)?)
+        }
+        None => None,
+    };
 
     let serial_start = Instant::now();
     let serial = timing_trace(&program, &trace, spec.name, &config);
@@ -517,11 +561,11 @@ pub fn shard_bench_with(
         );
     }
 
-    ShardBenchRun {
+    Ok(ShardBenchRun {
         text,
         doc,
         failed: !identical || !resume_identical,
-    }
+    })
 }
 
 /// The `bench_shard` binary's `main`: reads `ARL_SHARD` (default 3 when
@@ -539,14 +583,24 @@ pub fn run_shard_main() {
     };
     let workload_name = std::env::var("ARL_SHARD_WORKLOAD").unwrap_or_else(|_| "gcc".to_string());
     let interval = snapshot_interval_from_env();
-    let ledger = match Checkpoint::from_env() {
-        Ok(ckpt) => ckpt,
+    let ledger_path = std::env::var_os("ARL_CHECKPOINT").map(PathBuf::from);
+    // An unusable or mismatched ledger the user explicitly asked for is
+    // a hard error — running on without resume protection would silently
+    // discard the guarantee they requested.
+    let run = match shard_bench_with(
+        &opts,
+        &workload_name,
+        shards,
+        interval,
+        ledger_path.as_deref(),
+        crate::runner::force_from_env(),
+    ) {
+        Ok(run) => run,
         Err(e) => {
             eprintln!("[arl-bench] cannot open ARL_CHECKPOINT: {e}");
             std::process::exit(2);
         }
     };
-    let run = shard_bench_with(&opts, &workload_name, shards, interval, ledger);
     print!("{}", run.text);
     if std::env::var_os("ARL_JSON").is_some() {
         match write_named_json("BENCH_shard.json", &run.doc) {

@@ -1,0 +1,168 @@
+//! Subprocess-level crash-consistency checks against the real binaries:
+//! the ledger fingerprint guard and the hard `ARL_CHECKPOINT` error path
+//! in both supervisors (`fault_campaign`, `bench_shard`), plus a
+//! one-point `bench_chaos` smoke campaign.
+//!
+//! These run the actual executables (`CARGO_BIN_EXE_*`) because the
+//! guarantees under test are about process exit codes and stderr — the
+//! contract CI scripts and the chaos harness itself rely on.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::path::Path;
+use std::process::Command;
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("arl-chaosh-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Runs `exe` with a scrubbed `ARL_*` environment plus `envs`, at tiny
+/// scale with a single worker thread, returning (exit code or None on
+/// signal, stderr).
+fn run(exe: &str, dir: &Path, envs: &[(&str, &str)]) -> (Option<i32>, String) {
+    let mut cmd = Command::new(exe);
+    for (key, _) in std::env::vars_os() {
+        if key.to_string_lossy().starts_with("ARL_") {
+            cmd.env_remove(key);
+        }
+    }
+    cmd.env("ARL_SCALE", "tiny").env("ARL_THREADS", "1");
+    cmd.env("ARL_JSON", dir);
+    for (key, value) in envs {
+        cmd.env(key, value);
+    }
+    let out = cmd.output().expect("spawn binary");
+    (
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+/// A resume under a different fault plan must be refused with exit 2,
+/// naming both fingerprints and the override knob; `ARL_CHECKPOINT_FORCE`
+/// must then accept the ledger. (The regression this pins: supervisors
+/// must make an unusable ledger a *hard* error, never a silent
+/// run-without-resume-protection.)
+#[test]
+fn fault_campaign_refuses_a_mismatched_ledger_naming_both() {
+    let dir = temp_dir("identity");
+    let ckpt = dir.join("ledger.ckpt");
+    let ckpt = ckpt.to_str().unwrap();
+    let exe = env!("CARGO_BIN_EXE_fault_campaign");
+    let base = [
+        ("ARL_FAULT", "all:42:1"),
+        ("ARL_MAX_JOBS", "1"),
+        ("ARL_CHECKPOINT", ckpt),
+    ];
+
+    let (code, stderr) = run(exe, &dir, &base);
+    assert_eq!(code, Some(0), "seed run must pass:\n{stderr}");
+
+    let mismatched = [
+        ("ARL_FAULT", "all:43:1"),
+        ("ARL_MAX_JOBS", "1"),
+        ("ARL_CHECKPOINT", ckpt),
+    ];
+    let (code, stderr) = run(exe, &dir, &mismatched);
+    assert_eq!(code, Some(2), "mismatched resume must exit 2:\n{stderr}");
+    assert!(stderr.contains("cannot open ARL_CHECKPOINT"), "{stderr}");
+    assert!(stderr.contains("refusing to merge"), "{stderr}");
+    // `all:<seed>:1` expands layer by layer in the rendered fingerprint.
+    for plan in [
+        "trace:42:1,arpt:42:1,port:42:1",
+        "trace:43:1,arpt:43:1,port:43:1",
+    ] {
+        assert!(
+            stderr.contains(plan),
+            "refusal must name both identities (missing {plan}):\n{stderr}"
+        );
+    }
+    assert!(stderr.contains("ARL_CHECKPOINT_FORCE"), "{stderr}");
+
+    let forced = [
+        ("ARL_FAULT", "all:43:1"),
+        ("ARL_MAX_JOBS", "1"),
+        ("ARL_CHECKPOINT", ckpt),
+        ("ARL_CHECKPOINT_FORCE", "1"),
+    ];
+    let (code, stderr) = run(exe, &dir, &forced);
+    assert_eq!(code, Some(0), "forced resume must pass:\n{stderr}");
+    assert!(stderr.contains("ARL_CHECKPOINT_FORCE"), "{stderr}");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// An `ARL_CHECKPOINT` that cannot be opened — missing parent directory
+/// or a file that is not a v2 ledger — is a hard exit-2 error in both
+/// supervisors that honour the knob.
+#[test]
+fn unopenable_checkpoint_is_a_hard_error_in_both_supervisors() {
+    let dir = temp_dir("unopenable");
+    let missing = dir.join("no-such-dir").join("ledger.ckpt");
+    let garbage = dir.join("garbage.ckpt");
+    std::fs::write(&garbage, "not a ledger\n").unwrap();
+
+    for (exe, extra) in [
+        (
+            env!("CARGO_BIN_EXE_fault_campaign"),
+            ("ARL_FAULT", "all:42:1"),
+        ),
+        (env!("CARGO_BIN_EXE_bench_shard"), ("ARL_SHARD", "2")),
+    ] {
+        for bad in [&missing, &garbage] {
+            let envs = [extra, ("ARL_CHECKPOINT", bad.to_str().unwrap())];
+            let (code, stderr) = run(exe, &dir, &envs);
+            assert_eq!(
+                code,
+                Some(2),
+                "{exe} with ledger {} must exit 2:\n{stderr}",
+                bad.display()
+            );
+            assert!(stderr.contains("cannot open ARL_CHECKPOINT"), "{stderr}");
+        }
+    }
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// One seeded chaos point end to end through the real `bench_chaos`
+/// binary: the campaign must classify it (zero silent, zero fatal),
+/// prove byte-identical recovery, pass the fingerprint-guard probe, and
+/// emit a deterministic `arl-chaos/v1` document.
+#[test]
+fn one_point_chaos_campaign_recovers_and_stays_identical() {
+    let dir = temp_dir("smoke");
+    let envs = [
+        ("ARL_CHAOS_POINTS", "1"),
+        ("ARL_CHAOS_CHILD", env!("CARGO_BIN_EXE_fault_campaign")),
+        ("ARL_CHAOS_DIR", dir.to_str().unwrap()),
+    ];
+    let (code, stderr) = run(env!("CARGO_BIN_EXE_bench_chaos"), &dir, &envs);
+    assert_eq!(code, Some(0), "chaos smoke must pass:\n{stderr}");
+
+    let doc = std::fs::read_to_string(dir.join("BENCH_chaos.json")).expect("chaos doc");
+    let doc = arl_stats::Json::parse(&doc).expect("valid json");
+    assert_eq!(doc.get("schema").unwrap().as_str(), Some("arl-chaos/v1"));
+    let totals = doc.get("totals").unwrap();
+    assert_eq!(totals.get("silent").unwrap().as_u64(), Some(0));
+    assert_eq!(totals.get("fatal").unwrap().as_u64(), Some(0));
+    // Point 0 of the seeded rotation is a SIGKILL; it must be the
+    // recovered one.
+    assert_eq!(totals.get("recovered").unwrap().as_u64(), Some(1));
+    assert_eq!(
+        doc.get("all_identical").unwrap(),
+        &arl_stats::Json::Bool(true)
+    );
+    let guard = doc.get("identity_guard").unwrap();
+    for field in ["refused", "names_both", "force_override"] {
+        assert_eq!(
+            guard.get(field).unwrap(),
+            &arl_stats::Json::Bool(true),
+            "identity guard field {field}"
+        );
+    }
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}

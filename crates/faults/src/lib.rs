@@ -60,6 +60,74 @@ fn fault_rng(seed: u64, index: u32) -> SplitMix64 {
     mix
 }
 
+/// Plans the `index`-th I/O fault of a chaos campaign against a
+/// calibrated durable-operation sequence (see [`arl_sink::parse_io_trace`]).
+///
+/// The fault kind rotates `kill → short → enospc → rename` so any four
+/// consecutive points cover every failure mode, and within each kind the
+/// target operation and the torn-prefix length are drawn from the seeded
+/// per-index stream (the layer planners' seeding scheme, applied to I/O) — the same seed always
+/// aims the same faults at the same ops. Returns `None` when `ops` holds
+/// no operation the rotation's kind can target.
+pub fn plan_io_fault(
+    seed: u64,
+    index: u32,
+    ops: &[arl_sink::IoOp],
+) -> Option<arl_sink::PlannedIoFault> {
+    use arl_sink::{IoFault, OpKind, PlannedIoFault};
+    // Offset the stream domain from the trace/arpt/port planners so a
+    // shared seed never correlates I/O faults with simulator faults.
+    let mut rng = fault_rng(seed ^ 0x010F_A417, index);
+    let data_ops: Vec<&arl_sink::IoOp> = ops
+        .iter()
+        .filter(|o| o.kind != OpKind::Rename && o.bytes > 0)
+        .collect();
+    let rename_ops: Vec<&arl_sink::IoOp> =
+        ops.iter().filter(|o| o.kind == OpKind::Rename).collect();
+    let pick = |rng: &mut SplitMix64, pool: &[&arl_sink::IoOp]| -> Option<(u64, u64)> {
+        if pool.is_empty() {
+            return None;
+        }
+        let op = pool[rng.below(pool.len() as u64) as usize];
+        Some((op.op, op.bytes))
+    };
+    match index % 4 {
+        // A SIGKILL mid-write: any durable op can host it.
+        0 => {
+            let all: Vec<&arl_sink::IoOp> = ops.iter().collect();
+            let (op, bytes) = pick(&mut rng, &all)?;
+            let keep = rng.below(bytes); // 0 for rename ops (no payload)
+            Some(PlannedIoFault {
+                op,
+                fault: IoFault::Kill { keep },
+            })
+        }
+        1 => {
+            let (op, bytes) = pick(&mut rng, &data_ops)?;
+            let keep = rng.below(bytes);
+            Some(PlannedIoFault {
+                op,
+                fault: IoFault::ShortWrite { keep },
+            })
+        }
+        2 => {
+            let (op, bytes) = pick(&mut rng, &data_ops)?;
+            let keep = rng.below(bytes);
+            Some(PlannedIoFault {
+                op,
+                fault: IoFault::Enospc { keep },
+            })
+        }
+        _ => {
+            let (op, _) = pick(&mut rng, &rename_ops)?;
+            Some(PlannedIoFault {
+                op,
+                fault: IoFault::InterruptedRename,
+            })
+        }
+    }
+}
+
 /// The layer a fault is injected into.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Layer {
@@ -451,6 +519,49 @@ mod tests {
         let mut c = SplitMix64::new(8);
         assert_ne!(c.next_u64(), xs[0]);
         assert_eq!(SplitMix64::new(1).below(0), 0);
+    }
+
+    #[test]
+    fn io_fault_planning_is_seeded_rotating_and_in_bounds() {
+        use arl_sink::{IoFault, IoOp, OpKind};
+        let ops = vec![
+            IoOp {
+                op: 0,
+                kind: OpKind::Append,
+                bytes: 120,
+                file: "ledger".into(),
+            },
+            IoOp {
+                op: 1,
+                kind: OpKind::Write,
+                bytes: 4096,
+                file: "BENCH_faults.json".into(),
+            },
+            IoOp {
+                op: 2,
+                kind: OpKind::Rename,
+                bytes: 0,
+                file: "BENCH_faults.json".into(),
+            },
+        ];
+        for index in 0..16u32 {
+            let planned = plan_io_fault(42, index, &ops).expect("plannable");
+            assert_eq!(planned, plan_io_fault(42, index, &ops).unwrap());
+            let host = ops.iter().find(|o| o.op == planned.op).unwrap();
+            match (index % 4, planned.fault) {
+                (0, IoFault::Kill { keep }) => assert!(keep <= host.bytes),
+                (1, IoFault::ShortWrite { keep }) | (2, IoFault::Enospc { keep }) => {
+                    assert!(host.kind != OpKind::Rename && keep < host.bytes);
+                }
+                (3, IoFault::InterruptedRename) => assert_eq!(host.kind, OpKind::Rename),
+                other => panic!("index {index} planned the wrong kind: {other:?}"),
+            }
+        }
+        // Different seeds must eventually aim differently.
+        assert!((0..16).any(|i| plan_io_fault(1, i, &ops) != plan_io_fault(2, i, &ops)));
+        // No rename ops → the rename rotation slot yields None.
+        assert_eq!(plan_io_fault(42, 3, &ops[..2]), None);
+        assert_eq!(plan_io_fault(42, 0, &[]), None);
     }
 
     #[test]

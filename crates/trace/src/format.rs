@@ -518,6 +518,30 @@ impl Trace {
         &self.bytes
     }
 
+    /// Durably publishes the container at `path` via the crash-consistent
+    /// sink ([`arl_sink::durable_write`]): temp file + `sync_all` +
+    /// rename, so a crash mid-write can never clobber a good capture
+    /// with a torn one.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the sink (including injected chaos faults).
+    pub fn write_to(&self, path: &std::path::Path) -> std::io::Result<()> {
+        arl_sink::durable_write(path, &self.bytes)
+    }
+
+    /// Reads and validates a serialized container from `path`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors reading the file; a [`SourceError::Corrupt`] container
+    /// is surfaced as [`std::io::ErrorKind::InvalidData`].
+    pub fn read_from(path: &std::path::Path) -> std::io::Result<Trace> {
+        let bytes = std::fs::read(path)?;
+        Trace::from_bytes(bytes)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+
     /// Consumes the trace, yielding the serialized container.
     pub fn into_bytes(self) -> Vec<u8> {
         self.bytes

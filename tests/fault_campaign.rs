@@ -7,8 +7,9 @@ use std::sync::Mutex;
 use arl::sim::functional_instructions_executed;
 use arl::timing::MachineConfig;
 use arl_bench::{
-    capture_trace_snapshotted, fault_campaign_with, replay_sharded, replay_sharded_supervised,
-    stats_fingerprint, timing_trace, Checkpoint, ExperimentOptions, FAULTS_SCHEMA,
+    campaign_identity, capture_trace_snapshotted, fault_campaign_with, replay_sharded,
+    replay_sharded_supervised, stats_fingerprint, timing_trace, Checkpoint, ExperimentOptions,
+    RunIdentity, FAULTS_SCHEMA,
 };
 use arl_faults::{Layer, LayerPlan};
 use arl_workloads::{workload, Scale};
@@ -58,13 +59,15 @@ fn checkpoint_resume_is_byte_identical_and_exactly_once() {
     assert!(full_cost > 0, "captures must execute functionally");
 
     // Interrupted sweep: run only the first job against a checkpoint,
-    // then "crash".
+    // then "crash". The identity is the full 3-job sweep's — the cap is
+    // the interruption, not a different campaign.
+    let identity = campaign_identity(&opts(), &plans);
     let before = functional_instructions_executed();
     let first = fault_campaign_with(
         &opts(),
         &plans,
         Some(1),
-        Some(Checkpoint::open(&ckpt_path).unwrap()),
+        Some(Checkpoint::open(&ckpt_path, &identity, false).unwrap()),
     );
     let first_cost = functional_instructions_executed() - before;
     assert!(!first.failed);
@@ -74,7 +77,7 @@ fn checkpoint_resume_is_byte_identical_and_exactly_once() {
     // first job must be served from the checkpoint (no re-execution),
     // and the merged document must be byte-identical to the
     // uninterrupted run.
-    let resumed_ckpt = Checkpoint::open(&ckpt_path).unwrap();
+    let resumed_ckpt = Checkpoint::open(&ckpt_path, &identity, false).unwrap();
     assert_eq!(resumed_ckpt.len(), 1);
     let before = functional_instructions_executed();
     let resumed = fault_campaign_with(&opts(), &plans, Some(3), Some(resumed_ckpt));
@@ -95,7 +98,7 @@ fn checkpoint_resume_is_byte_identical_and_exactly_once() {
     );
 
     // A second resume with everything checkpointed executes nothing.
-    let done_ckpt = Checkpoint::open(&ckpt_path).unwrap();
+    let done_ckpt = Checkpoint::open(&ckpt_path, &identity, false).unwrap();
     assert_eq!(done_ckpt.len(), 3);
     let before = functional_instructions_executed();
     let replayed = fault_campaign_with(&opts(), &plans, Some(3), Some(done_ckpt));
@@ -133,7 +136,8 @@ fn sharded_kill_resume_is_exactly_once_and_bit_identical() {
     let before = functional_instructions_executed();
 
     // Run 2 of the 4 shard jobs against a ledger, then "crash".
-    let mut ledger = Checkpoint::open(&ckpt_path).unwrap();
+    let identity = RunIdentity::new("test-shard").field("workload", "perl");
+    let mut ledger = Checkpoint::open(&ckpt_path, &identity, false).unwrap();
     let interrupted = replay_sharded_supervised(
         &program,
         &trace,
@@ -153,7 +157,7 @@ fn sharded_kill_resume_is_exactly_once_and_bit_identical() {
     // Resume from a freshly reopened ledger: the two completed shards
     // are served from their recorded state blobs, only the lost tail
     // re-runs, and the stitched result is bit-identical.
-    let mut ledger = Checkpoint::open(&ckpt_path).unwrap();
+    let mut ledger = Checkpoint::open(&ckpt_path, &identity, false).unwrap();
     assert_eq!(ledger.len(), 2, "both completed shards must be recorded");
     let resumed = replay_sharded_supervised(
         &program,

@@ -1,0 +1,266 @@
+//! Checkpoint-ledger robustness, mirroring `trace_robustness.rs` for the
+//! v2 ledger: truncation at *every* byte offset and single-byte
+//! corruption at every offset must yield either a hard error or a strict
+//! prefix of the original entries — a damaged entry (or anything after
+//! it) must never be merged, even when the damage leaves a
+//! syntactically-valid JSON payload behind.
+
+use arl::stats::Json;
+use arl_bench::{Checkpoint, RunIdentity};
+
+fn identity() -> RunIdentity {
+    RunIdentity::new("robustness")
+        .field("scale", "tiny")
+        .field("plan", "all:42:1")
+}
+
+fn temp_ledger(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("arl-ledgerrob-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir.join("ledger.ckpt")
+}
+
+/// A real ledger with payload shapes chosen to be maximally dangerous
+/// under damage: numeric payloads whose truncations are still valid
+/// JSON, nested objects, and a superseding duplicate key.
+fn build_ledger(path: &std::path::Path) -> Vec<(String, String)> {
+    let mut ckpt = Checkpoint::open(path, &identity(), false).expect("fresh ledger");
+    ckpt.record("count", &Json::from(1234567890u64)).unwrap();
+    ckpt.record(
+        "go/tiny",
+        &Json::obj([
+            ("cycles", Json::from(987654321u64)),
+            ("label", Json::from("go")),
+        ]),
+    )
+    .unwrap();
+    ckpt.record("count", &Json::from(42u64)).unwrap(); // supersedes
+    ckpt.record("perl/tiny", &Json::obj([("cycles", Json::from(111u64))]))
+        .unwrap();
+    drop(ckpt);
+    Checkpoint::inspect(path).expect("ledger parses").entries
+}
+
+/// Asserts `entries` is a strict or full prefix of `original`, entry for
+/// entry — the no-merge invariant: damage may cost us a tail, never hand
+/// us an altered or reordered record.
+fn assert_prefix(entries: &[(String, String)], original: &[(String, String)], what: &str) {
+    assert!(
+        entries.len() <= original.len(),
+        "{what}: damage must never add entries"
+    );
+    for (i, (entry, golden)) in entries.iter().zip(original).enumerate() {
+        assert_eq!(entry, golden, "{what}: surviving entry {i} was altered");
+    }
+}
+
+/// Truncation at every byte offset: `inspect` either errors (header
+/// damage) or returns a strict prefix; `open` additionally restarts
+/// fresh over a torn header and physically truncates torn entry tails,
+/// after which the ledger is clean and resumable.
+#[test]
+fn truncation_at_every_offset_keeps_a_strict_prefix() {
+    let path = temp_ledger("trunc");
+    let original = build_ledger(&path);
+    assert_eq!(original.len(), 4);
+    let bytes = std::fs::read(&path).expect("read ledger");
+    let header_end = bytes.iter().position(|&b| b == b'\n').expect("header");
+
+    for len in 0..bytes.len() {
+        let what = format!("ledger truncated to {len} bytes");
+        std::fs::write(&path, &bytes[..len]).expect("write truncation");
+
+        match Checkpoint::inspect(&path) {
+            Ok(view) => {
+                assert!(len > header_end, "{what}: a torn header must not parse");
+                assert_prefix(&view.entries, &original, &what);
+                assert!(
+                    view.entries.len() < original.len() || !view.torn_tail,
+                    "{what}: full entries with a torn tail is impossible"
+                );
+                // Truncating into an entry (past its first byte) must
+                // drop it even when the cut payload is still valid JSON
+                // — the checksum, not the payload parser, is the judge.
+                if len < bytes.len() - 1 {
+                    assert!(
+                        view.entries.len() < original.len(),
+                        "{what}: a truncated entry survived"
+                    );
+                }
+            }
+            Err(_) => {
+                assert!(
+                    len <= header_end,
+                    "{what}: only header damage may hard-error"
+                );
+            }
+        }
+
+        // `open` repairs: torn headers restart, torn tails truncate.
+        let reopened = Checkpoint::open(&path, &identity(), false).expect("open repairs damage");
+        let live: Vec<&str> = ["count", "go/tiny", "perl/tiny"]
+            .into_iter()
+            .filter(|k| reopened.get(k).is_some())
+            .collect();
+        assert!(live.len() <= 3);
+        drop(reopened);
+        let healed = Checkpoint::inspect(&path).expect("healed ledger parses");
+        assert!(!healed.torn_tail, "{what}: open must truncate the tail");
+        assert_prefix(&healed.entries, &original, &format!("{what} (healed)"));
+    }
+
+    std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+}
+
+/// Single-byte corruption at every offset (three masks everywhere, every
+/// mask across the final entry): a flip in the header is a hard error or
+/// an identity refusal; a flip in the body costs at most the tail from
+/// the damaged entry onward — the flipped entry itself never survives.
+#[test]
+fn single_byte_flips_never_merge_the_damaged_entry() {
+    let path = temp_ledger("flip");
+    let original = build_ledger(&path);
+    let bytes = std::fs::read(&path).expect("read ledger");
+    let header_end = bytes.iter().position(|&b| b == b'\n').expect("header");
+    let last_entry = bytes[..bytes.len() - 1]
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .expect("entries")
+        + 1;
+
+    let check = |at: usize, mask: u8| {
+        let mut corrupt = bytes.clone();
+        corrupt[at] ^= mask;
+        let what = format!("byte {at} xor {mask:#04x}");
+        std::fs::write(&path, &corrupt).expect("write corruption");
+
+        // Which entry line does the damage land in? Everything from that
+        // entry on must be gone (a flipped newline can also merge the
+        // *preceding* line into the damage, costing one entry more).
+        let damaged_entry = at.checked_sub(header_end + 1).map_or(0, |_| {
+            bytes[header_end + 1..at]
+                .iter()
+                .filter(|&&b| b == b'\n')
+                .count()
+        });
+        match Checkpoint::inspect(&path) {
+            Ok(view) => {
+                assert!(at > header_end, "{what}: header flips must not parse");
+                assert_prefix(&view.entries, &original, &what);
+                assert!(
+                    view.entries.len() <= damaged_entry,
+                    "{what}: the damaged entry (index {damaged_entry}) survived with {} entries",
+                    view.entries.len()
+                );
+            }
+            Err(_) => assert!(at <= header_end, "{what}: only header flips may hard-error"),
+        }
+
+        match Checkpoint::open(&path, &identity(), false) {
+            Ok(ckpt) => {
+                assert!(at > header_end, "{what}: open accepted a flipped header");
+                drop(ckpt);
+                let healed = Checkpoint::inspect(&path).expect("healed ledger parses");
+                assert!(!healed.torn_tail);
+                assert_prefix(&healed.entries, &original, &format!("{what} (healed)"));
+            }
+            Err(e) => assert!(
+                at <= header_end,
+                "{what}: open rejected a body flip it should truncate past: {e}"
+            ),
+        }
+    };
+
+    for at in 0..bytes.len() {
+        for mask in [0x01u8, 0x80, 0xFF] {
+            check(at, mask);
+        }
+    }
+    // Every mask across the final entry — the torn-append window a
+    // SIGKILL actually produces.
+    for at in last_entry..bytes.len() {
+        for mask in 1u8..=255 {
+            check(at, mask);
+        }
+    }
+
+    std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+}
+
+/// The regression the per-entry checksum exists for: cutting a numeric
+/// payload leaves valid JSON (`1234567890` → `12345`), and a
+/// payload-level `is_ok()` check would merge the wrong number. Both the
+/// raw cut line and a reflowed one (newline restored) must be dropped.
+#[test]
+fn truncated_but_valid_json_payloads_are_never_merged() {
+    let path = temp_ledger("jsoncut");
+    build_ledger(&path);
+    let text = std::fs::read_to_string(&path).expect("read ledger");
+    let mut lines: Vec<&str> = text.lines().collect();
+    let entry = lines[1]; // seq 0: count = 1234567890
+    assert!(entry.contains("1234567890"));
+
+    // Cut mid-payload and restore the newline: the payload alone parses
+    // as JSON, but the line fails its checksum.
+    let cut = entry.split("567890").next().unwrap();
+    assert!(Json::parse("1234").is_ok(), "cut payload is valid JSON");
+    let forged = format!("{}\n{cut}\n", lines[0]);
+    std::fs::write(&path, forged).expect("write forgery");
+    let view = Checkpoint::inspect(&path).expect("forged ledger parses");
+    assert_eq!(view.entries.len(), 0, "cut-payload entry must not merge");
+    assert!(view.torn_tail);
+
+    // Same cut, but with the *checksum field* also sliced off cleanly so
+    // the line keeps its 4-field shape with a stale checksum.
+    let with_stale_chk = format!("{}\t{}", cut, "0000000000000000");
+    lines[1] = &with_stale_chk;
+    let forged = lines.join("\n") + "\n";
+    std::fs::write(&path, forged).expect("write forgery");
+    let view = Checkpoint::inspect(&path).expect("forged ledger parses");
+    assert_eq!(
+        view.entries.len(),
+        0,
+        "stale-checksum entry (and all after it) must not merge"
+    );
+
+    let reopened = Checkpoint::open(&path, &identity(), false).expect("open truncates");
+    assert!(reopened.is_empty(), "nothing forged may be live");
+
+    std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+}
+
+/// Identity protection survives damage: a ledger whose *identity bytes*
+/// are edited (header checksum re-sealed by an adversary with the spec)
+/// is refused as a foreign ledger, naming both fingerprints.
+#[test]
+fn resealed_foreign_identity_is_refused_naming_both() {
+    let path = temp_ledger("foreign");
+    build_ledger(&path);
+    let text = std::fs::read_to_string(&path).expect("read ledger");
+    let (header, rest) = text.split_once('\n').expect("header");
+    let parts: Vec<&str> = header.split('\t').collect();
+    let foreign = RunIdentity::new("robustness")
+        .field("scale", "tiny")
+        .field("plan", "all:43:1"); // one seed apart
+    let body = format!("{}\t{}", parts[0], foreign.render());
+    let chk = format!("{:016x}", arl::trace::fnv1a64(body.as_bytes()));
+    std::fs::write(&path, format!("{body}\t{chk}\n{rest}")).expect("write foreign ledger");
+
+    let err = Checkpoint::open(&path, &identity(), false).expect_err("foreign ledger refused");
+    let msg = err.to_string();
+    assert!(msg.contains(&foreign.render()), "names the ledger identity");
+    assert!(
+        msg.contains(&identity().render()),
+        "names the current identity"
+    );
+    assert!(
+        msg.contains("ARL_CHECKPOINT_FORCE"),
+        "explains the override"
+    );
+
+    // The override accepts it and the entries are intact.
+    let forced = Checkpoint::open(&path, &identity(), true).expect("forced resume");
+    assert_eq!(forced.len(), 3);
+
+    std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+}

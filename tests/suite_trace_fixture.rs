@@ -140,7 +140,9 @@ fn v1_fixture_still_decodes_and_replays() {
 #[ignore = "fixture regeneration helper"]
 fn regenerate_golden_trace_fixture() {
     let captured = capture_fixture_workload();
-    std::fs::write(FIXTURE, captured.as_bytes()).expect("write fixture");
+    captured
+        .write_to(std::path::Path::new(FIXTURE))
+        .expect("write fixture");
     eprintln!(
         "wrote {FIXTURE}: {} bytes, {} events, {} snapshots, checksum {:#018x}",
         captured.as_bytes().len(),
