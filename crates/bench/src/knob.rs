@@ -45,6 +45,50 @@ pub fn knob_u64(name: &str, value: Option<&str>, default: u64, min: u64) -> u64 
     n
 }
 
+/// [`knob_parsed`] for float knobs (ratios, thresholds), rejecting
+/// non-finite values and clamping parsed values below `min` (with a
+/// warning).
+pub fn knob_f64(name: &str, value: Option<&str>, default: f64, min: f64) -> f64 {
+    let n = knob_parsed(name, value, default, &default.to_string(), |v| {
+        v.parse::<f64>().ok().filter(|x| x.is_finite())
+    });
+    if n < min {
+        eprintln!("[arl-bench] clamping {name}={n} to {min}");
+        return min;
+    }
+    n
+}
+
+/// [`knob_parsed`] for boolean knobs: `0`/`false`/`off` and
+/// `1`/`true`/`on` (case-insensitive); anything else warns and takes the
+/// default.
+pub fn knob_bool(name: &str, value: Option<&str>, default: bool) -> bool {
+    knob_parsed(
+        name,
+        value,
+        default,
+        if default { "on" } else { "off" },
+        |v| match v.to_ascii_lowercase().as_str() {
+            "0" | "false" | "off" => Some(false),
+            "1" | "true" | "on" => Some(true),
+            _ => None,
+        },
+    )
+}
+
+/// Resolves a raw `ARL_TRACE_COMPILED` value: whether bench trace
+/// captures embed the precomputed per-instruction model section
+/// (version-3 traces). Defaults to on — replays consume the hints and
+/// skip model recomputation; stats are bit-identical either way.
+pub fn compiled_capture_from_value(value: Option<&str>) -> bool {
+    knob_bool("ARL_TRACE_COMPILED", value, true)
+}
+
+/// Reads `ARL_TRACE_COMPILED`.
+pub fn compiled_capture_from_env() -> bool {
+    compiled_capture_from_value(std::env::var("ARL_TRACE_COMPILED").ok().as_deref())
+}
+
 /// Resolves a raw `ARL_BACKEND` value to a memory backend: one of the
 /// [`BackendConfig::label`]s (case-insensitive); unset means the baseline
 /// chain and anything else warns and falls back to it.
@@ -95,6 +139,41 @@ mod tests {
             4,
             "negatives are invalid, not clamped"
         );
+    }
+
+    #[test]
+    fn knob_f64_clamps_and_rejects_nonfinite() {
+        assert_eq!(knob_f64("K", None, 0.8, 0.0), 0.8);
+        assert_eq!(knob_f64("K", Some("1.5"), 0.8, 0.0), 1.5);
+        assert_eq!(knob_f64("K", Some("-2"), 0.8, 0.0), 0.0, "clamped to min");
+        assert_eq!(knob_f64("K", Some("nan"), 0.8, 0.0), 0.8, "NaN falls back");
+        assert_eq!(knob_f64("K", Some("inf"), 0.8, 0.0), 0.8, "inf falls back");
+        assert_eq!(knob_f64("K", Some("x"), 0.8, 0.0), 0.8);
+    }
+
+    #[test]
+    fn knob_bool_accepts_the_usual_spellings() {
+        for (v, want) in [
+            (None, true),
+            (Some("1"), true),
+            (Some("true"), true),
+            (Some("ON"), true),
+            (Some("0"), false),
+            (Some("false"), false),
+            (Some("off"), false),
+            (Some("maybe"), true),
+        ] {
+            assert_eq!(knob_bool("K", v, true), want, "{v:?}");
+        }
+        assert!(!knob_bool("K", Some("junk"), false), "fallback is default");
+    }
+
+    #[test]
+    fn compiled_capture_defaults_on() {
+        assert!(compiled_capture_from_value(None));
+        assert!(!compiled_capture_from_value(Some("0")));
+        assert!(compiled_capture_from_value(Some("1")));
+        assert!(compiled_capture_from_value(Some("typo")), "warn, stay on");
     }
 
     #[test]

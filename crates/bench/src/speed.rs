@@ -1,55 +1,89 @@
 //! Replay-throughput benchmark for the timing core (`bench_speed`).
 //!
-//! Measures replayed instructions per second on the 12-workload suite for
-//! the event-driven core and (unless `ARL_SPEED_LEGACY=0`) the legacy
-//! cycle-ticking core, emitting `BENCH_speed.json` (schema
-//! [`SPEED_SCHEMA`]). The committed copy at the repo root is the speed
-//! trajectory the ci gate holds the event core to: a run may not fall
-//! below `ARL_SPEED_MIN_RATIO` (default 0.8) of the baseline's
-//! per-workload event-over-legacy `speedup` (machine-load-immune; see
-//! [`regressions_vs_baseline`]), or of the baseline `event_ips` when
-//! legacy timing was skipped.
+//! Measures replayed instructions per second on the 12-workload suite
+//! across the full lever matrix — {event, legacy} core × {compiled,
+//! uncompiled} trace — emitting `BENCH_speed.json` (schema
+//! [`SPEED_SCHEMA`], `arl-speed/v2`). The headline `speedup` per row is
+//! the shipping configuration over the original one: event core on a
+//! compiled trace vs the legacy core on an uncompiled trace; the other
+//! two cells attribute the win to each lever ([`SpeedRow::core_speedup`]
+//! and [`SpeedRow::compiled_speedup`]). All four cells' `SimStats` are
+//! asserted equal (`identical:true` in the JSON) — every benchmark run
+//! doubles as a compiled-vs-uncompiled differential test.
 //!
-//! Each workload's trace is captured once and pre-decoded into a
-//! [`TraceEntry`] slice, so the measurement times the *simulator*, not
-//! trace decode. When both cores run, their [`SimStats`] are asserted
-//! equal — every benchmark run doubles as a differential test.
+//! The committed copy at the repo root is the speed trajectory the ci
+//! gate holds the event core to: a run may not fall below
+//! `ARL_SPEED_MIN_RATIO` (default 0.8) of the baseline's per-workload
+//! `speedup` (machine-load-immune; see [`regressions_vs_baseline`]), or
+//! of the baseline `event_ips` when legacy timing was skipped.
 //!
-//! Knobs: `ARL_SPEED_WORKLOADS` (comma list filter), `ARL_SPEED_REPS`
-//! (best-of, default 2), `ARL_SPEED_LEGACY=0` (skip the slow legacy
-//! timing), `ARL_SPEED_BASELINE` (path to a committed baseline to gate
-//! against), `ARL_SPEED_MIN_RATIO`, plus the usual `ARL_SCALE`/`ARL_JSON`.
+//! Each workload's trace is captured once (with a compiled section) and
+//! pre-decoded into two [`TraceEntry`] slices — hints attached and hints
+//! stripped — so the measurement times the *simulator*, not trace decode
+//! or model precomputation. Knobs (all warn-and-fallback via
+//! [`crate::knob`]): `ARL_SPEED_WORKLOADS` (comma list filter),
+//! `ARL_SPEED_REPS` (best-of, default 2), `ARL_SPEED_LEGACY=0` (skip the
+//! slow legacy timing), `ARL_SPEED_CONFIG` (Figure 8 config name),
+//! `ARL_SPEED_BASELINE` (path to a committed baseline to gate against),
+//! `ARL_SPEED_MIN_RATIO`, plus the usual `ARL_SCALE`/`ARL_JSON`.
 
 use std::time::Instant;
 
-use arl_sim::{Machine, TraceEntry, TraceSource};
+use arl_sim::{ModelHints, TraceEntry, TraceSource};
 use arl_stats::Json;
 use arl_timing::{CoreMode, MachineConfig, SimStats, TimingSim};
 use arl_workloads::{suite, Scale};
 
+use crate::knob::{knob_f64, knob_parsed, knob_u64};
 use crate::runner::{scale_label, write_named_json};
+use crate::INST_CAP;
 
 /// `BENCH_speed.json` schema identifier.
-pub const SPEED_SCHEMA: &str = "arl-speed/v1";
+///
+/// v2 (this version) times the full lever matrix — core × compiled —
+/// and records `identical` per row; v1 timed only event vs legacy on
+/// uncompiled entries.
+pub const SPEED_SCHEMA: &str = "arl-speed/v2";
 
-/// One workload's measurement.
+/// One workload's measurement across the lever matrix.
 pub struct SpeedRow {
     /// Workload name.
     pub workload: String,
     /// Instructions replayed per timed run.
     pub instructions: u64,
-    /// Simulated cycles (identical across cores, asserted).
+    /// Simulated cycles (identical across all cells, asserted).
     pub cycles: u64,
-    /// Best-of-reps event-core throughput, instructions/second.
+    /// Best-of-reps event-core throughput on the *compiled* trace — the
+    /// shipping configuration, and the cell the gate tracks.
     pub event_ips: f64,
-    /// Best-of-reps legacy-core throughput; `None` when legacy was skipped.
+    /// Event core on the hint-stripped entries (compiled lever off).
+    pub event_uncompiled_ips: f64,
+    /// Legacy core on the hint-stripped entries — the original
+    /// configuration the headline speedup is measured against. `None`
+    /// when legacy was skipped (`ARL_SPEED_LEGACY=0`).
     pub legacy_ips: Option<f64>,
+    /// Legacy core on the compiled trace (compiled lever alone).
+    pub legacy_compiled_ips: Option<f64>,
+    /// All timed cells produced bit-identical `SimStats` (asserted at
+    /// measurement time; recorded so the artifact carries the proof).
+    pub identical: bool,
 }
 
 impl SpeedRow {
-    /// Event-over-legacy speedup, when both cores were timed.
+    /// Headline speedup: event+compiled over legacy+uncompiled.
     pub fn speedup(&self) -> Option<f64> {
         self.legacy_ips.map(|l| self.event_ips / l)
+    }
+
+    /// Core lever alone: event over legacy, both uncompiled.
+    pub fn core_speedup(&self) -> Option<f64> {
+        self.legacy_ips.map(|l| self.event_uncompiled_ips / l)
+    }
+
+    /// Compiled lever alone (on the event core): compiled over
+    /// uncompiled entries.
+    pub fn compiled_speedup(&self) -> f64 {
+        self.event_ips / self.event_uncompiled_ips.max(f64::MIN_POSITIVE)
     }
 
     fn to_json(&self) -> Json {
@@ -58,12 +92,27 @@ impl SpeedRow {
             ("instructions".to_string(), Json::from(self.instructions)),
             ("cycles".to_string(), Json::from(self.cycles)),
             ("event_ips".to_string(), Json::from(self.event_ips)),
+            (
+                "event_uncompiled_ips".to_string(),
+                Json::from(self.event_uncompiled_ips),
+            ),
+            (
+                "compiled_speedup".to_string(),
+                Json::from(self.compiled_speedup()),
+            ),
+            ("identical".to_string(), Json::from(self.identical)),
         ];
         if let Some(legacy) = self.legacy_ips {
             pairs.push(("legacy_ips".to_string(), Json::from(legacy)));
         }
+        if let Some(lc) = self.legacy_compiled_ips {
+            pairs.push(("legacy_compiled_ips".to_string(), Json::from(lc)));
+        }
         if let Some(speedup) = self.speedup() {
             pairs.push(("speedup".to_string(), Json::from(speedup)));
+        }
+        if let Some(core) = self.core_speedup() {
+            pairs.push(("core_speedup".to_string(), Json::from(core)));
         }
         Json::Obj(pairs)
     }
@@ -79,8 +128,19 @@ pub struct SpeedReport {
     pub rows: Vec<SpeedRow>,
 }
 
+/// Geometric mean of `values`; `None` when empty.
+fn geomean(values: impl Iterator<Item = f64>) -> Option<f64> {
+    let (mut log_sum, mut n) = (0.0f64, 0u32);
+    for v in values {
+        log_sum += v.max(f64::MIN_POSITIVE).ln();
+        n += 1;
+    }
+    (n > 0).then(|| (log_sum / f64::from(n)).exp())
+}
+
 impl SpeedReport {
-    /// Suite-aggregate event throughput (total instructions / total time).
+    /// Suite-aggregate event throughput (total instructions / total time)
+    /// in the shipping configuration (compiled trace).
     pub fn suite_event_ips(&self) -> f64 {
         let inst: u64 = self.rows.iter().map(|r| r.instructions).sum();
         let secs: f64 = self
@@ -91,7 +151,8 @@ impl SpeedReport {
         inst as f64 / secs.max(f64::MIN_POSITIVE)
     }
 
-    /// Suite-aggregate legacy throughput, when every row timed legacy.
+    /// Suite-aggregate legacy (uncompiled) throughput, when every row
+    /// timed legacy.
     pub fn suite_legacy_ips(&self) -> Option<f64> {
         let inst: u64 = self.rows.iter().map(|r| r.instructions).sum();
         let mut secs = 0.0;
@@ -101,9 +162,28 @@ impl SpeedReport {
         Some(inst as f64 / secs.max(f64::MIN_POSITIVE))
     }
 
-    /// Suite-aggregate event-over-legacy speedup.
+    /// Suite-aggregate headline speedup (aggregate-throughput ratio).
     pub fn suite_speedup(&self) -> Option<f64> {
         self.suite_legacy_ips().map(|l| self.suite_event_ips() / l)
+    }
+
+    /// Suite geometric-mean headline speedup (every workload weighted
+    /// equally — the acceptance number).
+    pub fn suite_speedup_geomean(&self) -> Option<f64> {
+        let speedups: Option<Vec<f64>> = self.rows.iter().map(SpeedRow::speedup).collect();
+        geomean(speedups?.into_iter())
+    }
+
+    /// Suite geometric-mean core-lever speedup (event vs legacy, both
+    /// uncompiled).
+    pub fn suite_core_speedup_geomean(&self) -> Option<f64> {
+        let speedups: Option<Vec<f64>> = self.rows.iter().map(SpeedRow::core_speedup).collect();
+        geomean(speedups?.into_iter())
+    }
+
+    /// Suite geometric-mean compiled-lever speedup (event core).
+    pub fn suite_compiled_speedup_geomean(&self) -> Option<f64> {
+        geomean(self.rows.iter().map(SpeedRow::compiled_speedup))
     }
 
     /// The `BENCH_speed.json` document.
@@ -114,6 +194,15 @@ impl SpeedReport {
         }
         if let Some(speedup) = self.suite_speedup() {
             suite_pairs.push(("speedup".to_string(), Json::from(speedup)));
+        }
+        if let Some(geo) = self.suite_speedup_geomean() {
+            suite_pairs.push(("speedup_geomean".to_string(), Json::from(geo)));
+        }
+        if let Some(core) = self.suite_core_speedup_geomean() {
+            suite_pairs.push(("core_speedup_geomean".to_string(), Json::from(core)));
+        }
+        if let Some(compiled) = self.suite_compiled_speedup_geomean() {
+            suite_pairs.push(("compiled_speedup_geomean".to_string(), Json::from(compiled)));
         }
         Json::obj([
             ("schema", Json::from(SPEED_SCHEMA)),
@@ -129,15 +218,20 @@ impl SpeedReport {
 }
 
 /// The measured machine config: `ARL_SPEED_CONFIG` selects a Figure 8
-/// config by name (e.g. `(2+0)`, `(3+3)`, `(16+0)`); default `(3+3)`.
+/// config by name (e.g. `(2+0)`, `(3+3)`, `(16+0)`); unknown names warn
+/// and fall back to the default `(3+3)`.
 fn config_from_env() -> MachineConfig {
-    let Ok(name) = std::env::var("ARL_SPEED_CONFIG") else {
-        return MachineConfig::decoupled(3, 3);
-    };
-    MachineConfig::figure8_suite()
-        .into_iter()
-        .find(|c| c.name == name)
-        .unwrap_or_else(|| panic!("ARL_SPEED_CONFIG={name} matches no figure-8 config"))
+    knob_parsed(
+        "ARL_SPEED_CONFIG",
+        std::env::var("ARL_SPEED_CONFIG").ok().as_deref(),
+        MachineConfig::decoupled(3, 3),
+        "the (3+3) config (valid: figure-8 config names)",
+        |name| {
+            MachineConfig::figure8_suite()
+                .into_iter()
+                .find(|c| c.name == name)
+        },
+    )
 }
 
 fn workload_filter() -> Option<Vec<String>> {
@@ -155,15 +249,21 @@ fn workload_filter() -> Option<Vec<String>> {
 }
 
 fn reps_from_env() -> u32 {
-    std::env::var("ARL_SPEED_REPS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or(2)
+    let n = knob_u64(
+        "ARL_SPEED_REPS",
+        std::env::var("ARL_SPEED_REPS").ok().as_deref(),
+        2,
+        1,
+    );
+    u32::try_from(n.min(1_000)).unwrap_or(2)
 }
 
 fn legacy_enabled() -> bool {
-    std::env::var("ARL_SPEED_LEGACY").map_or(true, |v| v != "0")
+    crate::knob::knob_bool(
+        "ARL_SPEED_LEGACY",
+        std::env::var("ARL_SPEED_LEGACY").ok().as_deref(),
+        true,
+    )
 }
 
 /// Times `reps` replays of `entries` under `core`, returning the best
@@ -192,10 +292,11 @@ fn time_core(
 ///
 /// # Panics
 ///
-/// Panics if a workload fails to execute, if `ARL_SPEED_WORKLOADS` names
-/// an unknown workload, or if the two cores' stats diverge (which would
-/// mean the event core is broken — the differential suite covers this,
-/// but a free check here keeps the committed baseline honest).
+/// Panics if a workload fails to execute or capture, if
+/// `ARL_SPEED_WORKLOADS` names an unknown workload, or if any two cells'
+/// stats diverge (which would mean the event core or the compiled-trace
+/// path is broken — the differential suite covers this, but a free check
+/// here keeps the committed baseline honest).
 pub fn run_speed_suite(scale: Scale) -> SpeedReport {
     let filter = workload_filter();
     let reps = reps_from_env();
@@ -211,32 +312,65 @@ pub fn run_speed_suite(scale: Scale) -> SpeedReport {
         }
         matched += 1;
         let program = spec.build(scale);
-        let mut machine = Machine::new(&program);
-        let mut entries = Vec::new();
-        while let Some(entry) = machine
+        // One compiled capture yields both entry streams: hints attached
+        // (compiled cells) and hints stripped (uncompiled cells). The
+        // streams are identical apart from the model hints, so every
+        // cell replays the same instructions.
+        let trace = arl_trace::capture_compiled(&program, INST_CAP, 0)
+            .unwrap_or_else(|e| panic!("{}: capture failed: {e}", spec.name));
+        let mut replayer = arl_trace::Replayer::new(&trace, &program)
+            .unwrap_or_else(|e| panic!("{}: trace rejected: {e}", spec.name));
+        let mut compiled_entries = Vec::new();
+        while let Some(entry) = replayer
             .next_entry()
-            .unwrap_or_else(|e| panic!("{}: functional execution failed: {e}", spec.name))
+            .unwrap_or_else(|e| panic!("{}: trace replay failed: {e}", spec.name))
         {
-            entries.push(entry);
+            debug_assert!(entry.model.present, "compiled trace must carry hints");
+            compiled_entries.push(entry);
         }
-        let (event_ips, event_stats) = time_core(&entries, &config, CoreMode::Event, reps);
-        let legacy_ips = if with_legacy {
-            let (ips, legacy_stats) = time_core(&entries, &config, CoreMode::Legacy, reps);
+        let plain_entries: Vec<TraceEntry> = compiled_entries
+            .iter()
+            .map(|e| {
+                let mut plain = *e;
+                plain.model = ModelHints::NONE;
+                plain
+            })
+            .collect();
+
+        let (event_ips, stats_ec) = time_core(&compiled_entries, &config, CoreMode::Event, reps);
+        let (event_uncompiled_ips, stats_eu) =
+            time_core(&plain_entries, &config, CoreMode::Event, reps);
+        assert_eq!(
+            stats_ec, stats_eu,
+            "{}: event core diverged between compiled and uncompiled entries",
+            spec.name
+        );
+        let (legacy_ips, legacy_compiled_ips) = if with_legacy {
+            let (lu_ips, stats_lu) = time_core(&plain_entries, &config, CoreMode::Legacy, reps);
+            let (lc_ips, stats_lc) = time_core(&compiled_entries, &config, CoreMode::Legacy, reps);
             assert_eq!(
-                event_stats, legacy_stats,
+                stats_ec, stats_lu,
                 "{}: event and legacy cores diverged",
                 spec.name
             );
-            Some(ips)
+            assert_eq!(
+                stats_lu, stats_lc,
+                "{}: legacy core diverged between compiled and uncompiled entries",
+                spec.name
+            );
+            (Some(lu_ips), Some(lc_ips))
         } else {
-            None
+            (None, None)
         };
         rows.push(SpeedRow {
             workload: spec.name.to_string(),
-            instructions: event_stats.instructions,
-            cycles: event_stats.cycles,
+            instructions: stats_ec.instructions,
+            cycles: stats_ec.cycles,
             event_ips,
+            event_uncompiled_ips,
             legacy_ips,
+            legacy_compiled_ips,
+            identical: true,
         });
     }
     if let Some(names) = &filter {
@@ -259,23 +393,25 @@ pub fn write_speed_json(report: &SpeedReport) -> std::io::Result<std::path::Path
 }
 
 fn min_ratio() -> f64 {
-    std::env::var("ARL_SPEED_MIN_RATIO")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0.8)
+    knob_f64(
+        "ARL_SPEED_MIN_RATIO",
+        std::env::var("ARL_SPEED_MIN_RATIO").ok().as_deref(),
+        0.8,
+        0.0,
+    )
 }
 
 /// Gates `report` against the committed baseline at `path`. Returns the
 /// offending rows.
 ///
 /// When a row timed both cores and the baseline row recorded a
-/// `speedup`, the gate compares event-over-legacy speedups: the row must
-/// reach `min_ratio × baseline speedup`. Both cores share whatever load
-/// the machine is under, so the ratio cancels it — absolute throughput
-/// on a shared box swings ±30% with background load and would gate on
-/// the weather. The absolute `event_ips` floor is kept only as a
-/// fallback for legacy-skipped runs (`ARL_SPEED_LEGACY=0`), where no
-/// same-run reference exists.
+/// `speedup`, the gate compares headline speedups: the row must reach
+/// `min_ratio × baseline speedup`. All cells share whatever load the
+/// machine is under, so the ratio cancels it — absolute throughput on a
+/// shared box swings ±30% with background load and would gate on the
+/// weather. The absolute `event_ips` floor is kept only as a fallback
+/// for legacy-skipped runs (`ARL_SPEED_LEGACY=0`), where no same-run
+/// reference exists.
 pub fn regressions_vs_baseline(report: &SpeedReport, path: &str) -> Result<Vec<String>, String> {
     let text =
         std::fs::read_to_string(path).map_err(|e| format!("cannot read baseline {path}: {e}"))?;
@@ -354,7 +490,10 @@ mod tests {
             instructions: 1_000_000,
             cycles: 200_000,
             event_ips,
+            event_uncompiled_ips: event_ips * 0.75,
             legacy_ips,
+            legacy_compiled_ips: legacy_ips.map(|l| l * 1.1),
+            identical: true,
         }
     }
 
@@ -409,5 +548,33 @@ mod tests {
             Vec::<String>::new()
         );
         std::fs::remove_file(&baseline).ok();
+    }
+
+    #[test]
+    fn lever_attribution_and_geomeans() {
+        let r = row("go", 8_000_000.0, Some(2_000_000.0));
+        assert_eq!(r.speedup(), Some(4.0), "headline: event+compiled/legacy");
+        assert_eq!(r.core_speedup(), Some(3.0), "core lever alone");
+        assert!((r.compiled_speedup() - 4.0 / 3.0).abs() < 1e-12);
+        let rep = report(vec![
+            row("go", 8_000_000.0, Some(2_000_000.0)),
+            row("gcc", 9_000_000.0, Some(1_000_000.0)),
+        ]);
+        let geo = rep.suite_speedup_geomean().expect("both rows timed legacy");
+        assert!((geo - 6.0).abs() < 1e-9, "geomean(4,9) = 6, got {geo}");
+        let rendered = rep.to_json().render();
+        assert!(rendered.contains("\"schema\":\"arl-speed/v2\""));
+        assert!(rendered.contains("\"identical\":true"));
+        assert!(rendered.contains("\"speedup_geomean\""));
+        assert!(rendered.contains("\"core_speedup_geomean\""));
+        assert!(rendered.contains("\"compiled_speedup_geomean\""));
+    }
+
+    #[test]
+    fn geomean_of_empty_is_none() {
+        assert_eq!(geomean(std::iter::empty()), None);
+        let no_legacy = report(vec![row("go", 1.0, None)]);
+        assert_eq!(no_legacy.suite_speedup_geomean(), None);
+        assert_eq!(no_legacy.suite_core_speedup_geomean(), None);
     }
 }

@@ -92,8 +92,20 @@ impl Arpt {
         )
     }
 
+    /// The table key for the instruction at `pc` under run-time context
+    /// `(ghr, ra)`: the word-pc XOR the configured [`Context`] value. This is
+    /// the pure, capacity-independent part of the index computation, so it
+    /// can be precomputed once at trace-capture time and fed back through
+    /// [`Arpt::predict_counted_key`]/[`Arpt::update_key`] on every replay.
+    pub fn key(&self, pc: u64, ghr: u64, ra: u64) -> u64 {
+        (pc / INST_BYTES) ^ self.context.value(ghr, ra)
+    }
+
     fn index(&self, pc: u64, ghr: u64, ra: u64) -> u64 {
-        let key = (pc / INST_BYTES) ^ self.context.value(ghr, ra);
+        self.fold(self.key(pc, ghr, ra))
+    }
+
+    fn fold(&self, key: u64) -> u64 {
         match &self.storage {
             Storage::Unlimited(_) => key,
             Storage::Limited { table, .. } => {
@@ -138,10 +150,28 @@ impl Arpt {
         self.predict(pc, ghr, ra)
     }
 
+    /// Like [`Arpt::predict_counted`], but takes a key precomputed with
+    /// [`Arpt::key`] (e.g. out of a compiled trace) instead of rederiving it
+    /// from `(pc, ghr, ra)`. Counts the lookup identically.
+    pub fn predict_counted_key(&mut self, key: u64) -> bool {
+        self.lookups += 1;
+        self.predict_from(self.counter(self.fold(key)))
+    }
+
     /// Trains the entry with the observed region.
     pub fn update(&mut self, pc: u64, ghr: u64, ra: u64, is_stack: bool) {
-        self.updates += 1;
         let idx = self.index(pc, ghr, ra);
+        self.update_idx(idx, is_stack);
+    }
+
+    /// Like [`Arpt::update`], but takes a key precomputed with [`Arpt::key`].
+    pub fn update_key(&mut self, key: u64, is_stack: bool) {
+        let idx = self.fold(key);
+        self.update_idx(idx, is_stack);
+    }
+
+    fn update_idx(&mut self, idx: u64, is_stack: bool) {
+        self.updates += 1;
         let next = |cur: u8| match self.scheme {
             CounterScheme::OneBit => is_stack as u8,
             CounterScheme::TwoBit => {
@@ -416,6 +446,32 @@ mod tests {
         // Mask is clamped to the two counter bits (no byte-wide garbage).
         a.inject_soft_error(6, 0xFC);
         assert_eq!(a.occupied_entries(), 1, "clamped-to-zero mask is a no-op");
+    }
+
+    #[test]
+    fn keyed_api_matches_positional_api() {
+        // The compiled-trace fast path feeds precomputed keys back in; it
+        // must be indistinguishable from the positional API, counters
+        // included.
+        let mut a = Arpt::new(
+            CounterScheme::OneBit,
+            Context::HYBRID_8_7,
+            Capacity::Entries(1 << 10),
+        );
+        let mut b = a.clone();
+        for round in 0..200u64 {
+            let pc = 0x40_0000 + (round % 37) * INST_BYTES;
+            let ghr = round.wrapping_mul(0x9E37);
+            let ra = 0x40_0200 + (round % 5) * INST_BYTES;
+            let key = a.key(pc, ghr, ra);
+            assert_eq!(a.predict_counted(pc, ghr, ra), b.predict_counted_key(key));
+            let is_stack = round % 3 == 0;
+            a.update(pc, ghr, ra, is_stack);
+            b.update_key(key, is_stack);
+        }
+        assert_eq!(a.lookups(), b.lookups());
+        assert_eq!(a.updates(), b.updates());
+        assert_eq!(a.occupied_entries(), b.occupied_entries());
     }
 
     #[test]

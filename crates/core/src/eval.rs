@@ -269,6 +269,7 @@ mod tests {
             gpr_write: None,
             ghr,
             ra,
+            model: arl_sim::ModelHints::NONE,
         }
     }
 
@@ -345,6 +346,7 @@ mod tests {
             gpr_write: None,
             ghr: 0,
             ra: 0,
+            model: arl_sim::ModelHints::NONE,
         });
         assert_eq!(e.stats().total, 0);
         assert_eq!(e.stats().accuracy(), 1.0);

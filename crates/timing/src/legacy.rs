@@ -11,9 +11,9 @@
 //!
 use std::collections::VecDeque;
 
-use arl_core::{static_hint, Arpt, StaticHint};
-use arl_isa::{AluOp, FAluOp, Inst};
-use arl_sim::{SourceError, TraceEntry, TraceSource};
+use arl_core::{classify_fu, static_hint, Arpt, FuClass, StaticHint};
+use arl_isa::Inst;
+use arl_sim::{ModelHints, SourceError, TraceEntry, TraceSource};
 
 use crate::cache::{MemSystem, Route};
 use crate::config::{MachineConfig, RecoveryMode};
@@ -37,25 +37,18 @@ enum Fu {
     FpMulDiv,
 }
 
-/// Execution latency and FU class per instruction (MIPS R10000-flavoured).
+/// Execution latency and FU class per instruction (MIPS R10000-flavoured);
+/// delegates to the shared [`arl_core::classify_fu`] table so the legacy
+/// reference, the event core, and the trace-time compiler cannot drift.
 fn classify(inst: &Inst) -> (Fu, u64) {
-    match inst {
-        Inst::Alu { op, .. } | Inst::AluI { op, .. } => match op {
-            AluOp::Mul => (Fu::IntMulDiv, 5),
-            AluOp::Div | AluOp::Rem => (Fu::IntMulDiv, 20),
-            _ => (Fu::IntAlu, 1),
-        },
-        Inst::FAlu { op, .. } => match op {
-            FAluOp::Mul => (Fu::FpMulDiv, 3),
-            FAluOp::Div => (Fu::FpMulDiv, 12),
-            FAluOp::Sqrt => (Fu::FpMulDiv, 18),
-            _ => (Fu::FpAlu, 2),
-        },
-        Inst::FCmp { .. } | Inst::CvtIf { .. } | Inst::CvtFi { .. } => (Fu::FpAlu, 2),
-        // Loads/stores use an integer ALU for address generation (1 cycle);
-        // the memory latency is charged separately.
-        _ => (Fu::IntAlu, 1),
-    }
+    let (class, latency) = classify_fu(inst);
+    let fu = match class {
+        FuClass::IntAlu => Fu::IntAlu,
+        FuClass::FpAlu => Fu::FpAlu,
+        FuClass::IntMulDiv => Fu::IntMulDiv,
+        FuClass::FpMulDiv => Fu::FpMulDiv,
+    };
+    (fu, latency)
 }
 
 /// Serialization tag for a [`Fu`] (sharded-replay state blobs; the legacy
@@ -179,6 +172,9 @@ pub(crate) struct LegacySim<P: Probe = NullProbe> {
     /// Pending ARPT soft errors (removed once injected); port-layer faults
     /// live inside [`MemSystem`].
     arpt_faults: Vec<TimingFault>,
+    /// Persistent scratch for the memory-stage action list — reused every
+    /// cycle so the busy loop performs no per-cycle heap allocation.
+    mem_scratch: Vec<u64>,
     probe: P,
 }
 
@@ -214,6 +210,7 @@ impl<P: Probe> LegacySim<P> {
                 .filter(|f| !f.is_port_fault())
                 .copied()
                 .collect(),
+            mem_scratch: Vec::new(),
             config: config.clone(),
             probe,
         }
@@ -617,17 +614,30 @@ impl<P: Probe> LegacySim<P> {
             return false;
         }
         // Memory instructions need a queue entry; pick the queue now (the
-        // paper's dispatch-stage steering).
+        // paper's dispatch-stage steering). Compiled traces (v3) carry the
+        // steering class and folded ARPT key precomputed; either path
+        // consults and counts the same table lookup, so the prediction
+        // stream is bit-identical.
+        let hints = &entry.model;
         let mut route = Route::DataCache;
         let mut predicted_stack = false;
         let mut arpt_predicted = false;
         let is_mem = entry.mem.is_some();
         if is_mem {
             if self.config.is_decoupled() {
-                let Some(info) = entry.inst.mem_op() else {
-                    unreachable!("memory entry carries no mem_op");
+                let hint = if hints.present {
+                    match hints.steer {
+                        ModelHints::STEER_STACK => StaticHint::Stack,
+                        ModelHints::STEER_NONSTACK => StaticHint::NonStack,
+                        _ => StaticHint::Dynamic,
+                    }
+                } else {
+                    let Some(info) = entry.inst.mem_op() else {
+                        unreachable!("memory entry carries no mem_op");
+                    };
+                    static_hint(&info)
                 };
-                predicted_stack = match static_hint(&info) {
+                predicted_stack = match hint {
                     StaticHint::Stack => true,
                     StaticHint::NonStack => false,
                     StaticHint::Dynamic => {
@@ -635,7 +645,11 @@ impl<P: Probe> LegacySim<P> {
                         if !self.arpt_faults.is_empty() {
                             self.apply_arpt_faults();
                         }
-                        self.arpt.predict_counted(entry.pc, entry.ghr, entry.ra)
+                        if hints.present {
+                            self.arpt.predict_counted_key(hints.arpt_key)
+                        } else {
+                            self.arpt.predict_counted(entry.pc, entry.ghr, entry.ra)
+                        }
                     }
                 };
                 route = if predicted_stack {
@@ -681,11 +695,15 @@ impl<P: Probe> LegacySim<P> {
                 data_dep = self.reg_producer[32 + fs.index()];
             }
             _ => {
-                for r in entry.inst.gpr_sources() {
+                let mut gprs = [arl_isa::Gpr::ZERO; 2];
+                let ng = entry.inst.gpr_sources_into(&mut gprs);
+                for &r in &gprs[..ng] {
                     deps[n] = self.reg_producer[r.index()];
                     n += 1;
                 }
-                for r in entry.inst.fpr_sources() {
+                let mut fprs = [arl_isa::Fpr::F0; 2];
+                let nf = entry.inst.fpr_sources_into(&mut fprs);
+                for &r in &fprs[..nf] {
                     if n < 3 {
                         deps[n] = self.reg_producer[32 + r.index()];
                         n += 1;
@@ -845,8 +863,12 @@ impl<P: Probe> LegacySim<P> {
             self.write_buffer.pop_front();
         }
         // Walk the ROB oldest-first; handle verification, redirects, and
-        // load access starts. (Stores access the cache at commit.)
-        let mut actions: Vec<u64> = Vec::new();
+        // load access starts. (Stores access the cache at commit.) The
+        // action list lives in a persistent scratch buffer: once warmed it
+        // never reallocates, and its capacity stays bounded by the window
+        // (it holds at most one entry per in-flight slot).
+        let mut actions = std::mem::take(&mut self.mem_scratch);
+        actions.clear();
         for s in &self.rob {
             let actionable = (s.mem == MemPhase::WaitAgen && s.agen_done_at <= self.cycle)
                 || (s.mem == MemPhase::Ready && s.mem_ready_at <= self.cycle);
@@ -854,7 +876,11 @@ impl<P: Probe> LegacySim<P> {
                 actions.push(s.seq);
             }
         }
-        for seq in actions {
+        debug_assert!(
+            actions.capacity() <= self.config.rob_size.max(1).next_power_of_two(),
+            "memory-stage scratch must stay bounded by the in-flight window"
+        );
+        for &seq in &actions {
             // 1. Verification (TLB stack-bit check) the cycle address
             //    generation finishes.
             let needs_verify = {
@@ -893,6 +919,7 @@ impl<P: Probe> LegacySim<P> {
                 }
             }
         }
+        self.mem_scratch = actions;
     }
 
     /// The TLB region check: reroute and retrain on a wrong prediction.

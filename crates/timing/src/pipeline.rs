@@ -36,12 +36,12 @@
 //! argument (why every state-changing threshold is a scheduled event).
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 use arl_asm::Program;
-use arl_core::{static_hint, Arpt, StaticHint};
-use arl_isa::{AluOp, FAluOp, Inst};
-use arl_sim::{EntrySliceSource, Machine, SourceError, TraceEntry, TraceSource};
+use arl_core::{classify_fu, static_hint, Arpt, FuClass, StaticHint, NO_SRC};
+use arl_isa::Inst;
+use arl_sim::{EntrySliceSource, Machine, ModelHints, SourceError, TraceEntry, TraceSource};
 
 use crate::cache::{MemSystem, Route};
 use crate::config::{CoreMode, MachineConfig, RecoveryMode};
@@ -66,23 +66,22 @@ enum Fu {
 }
 
 /// Execution latency and FU class per instruction (MIPS R10000-flavoured).
+/// The table itself lives in [`arl_core::classify_fu`] so the trace-time
+/// compiler (`arl-trace` v3) and both cores share one definition and
+/// cannot drift.
 fn classify(inst: &Inst) -> (Fu, u64) {
-    match inst {
-        Inst::Alu { op, .. } | Inst::AluI { op, .. } => match op {
-            AluOp::Mul => (Fu::IntMulDiv, 5),
-            AluOp::Div | AluOp::Rem => (Fu::IntMulDiv, 20),
-            _ => (Fu::IntAlu, 1),
-        },
-        Inst::FAlu { op, .. } => match op {
-            FAluOp::Mul => (Fu::FpMulDiv, 3),
-            FAluOp::Div => (Fu::FpMulDiv, 12),
-            FAluOp::Sqrt => (Fu::FpMulDiv, 18),
-            _ => (Fu::FpAlu, 2),
-        },
-        Inst::FCmp { .. } | Inst::CvtIf { .. } | Inst::CvtFi { .. } => (Fu::FpAlu, 2),
-        // Loads/stores use an integer ALU for address generation (1 cycle);
-        // the memory latency is charged separately.
-        _ => (Fu::IntAlu, 1),
+    let (class, latency) = classify_fu(inst);
+    (fu_of_class(class), latency)
+}
+
+/// The pipeline-local [`Fu`] for a shared [`FuClass`] (discriminants
+/// match; compiled traces and state blobs both carry the `FuClass` tags).
+fn fu_of_class(class: FuClass) -> Fu {
+    match class {
+        FuClass::IntAlu => Fu::IntAlu,
+        FuClass::FpAlu => Fu::FpAlu,
+        FuClass::IntMulDiv => Fu::IntMulDiv,
+        FuClass::FpMulDiv => Fu::FpMulDiv,
     }
 }
 
@@ -157,62 +156,121 @@ const F_RECOVERED: u8 = 1 << 6;
 /// producer's wake list; prevents double-registration after a squash.
 const F_DATA_WAKE: u8 = 1 << 7;
 
-/// The in-flight window as a structure-of-arrays ring buffer: slot `seq`
-/// lives at physical index `(head + (seq - head_seq)) & mask` of every
-/// array. Capacity is the ROB size rounded up to a power of two and never
-/// grows, so no per-cycle allocation happens on the hot path.
+/// One in-flight instruction's cycle-level state, packed so a slot spans
+/// 2–3 cache lines instead of scattering across ~25 column arrays — each
+/// stage visit touches one record, not two dozen lines. Field groups are
+/// ordered by the stage that reads them (issue path, memory path, wake
+/// lists, packed small fields).
+#[derive(Clone, Copy)]
+struct Slot {
+    dispatch_cycle: u64,
+    /// Cycle the result is available to consumers (`NO_CYCLE` until known).
+    complete_at: u64,
+    /// Provable lower bound on the first cycle the slot could pass the
+    /// authoritative issue check.
+    earliest_try: u64,
+    /// Where the slot currently sits in the issue stage's appointment
+    /// book: a future bucket key, [`QUEUE_RETRY`], or [`QUEUE_NONE`]
+    /// (parked on wake lists, issued, or not dispatched). Stale bucket
+    /// copies are dropped when this no longer matches their key.
+    issue_q: u64,
+    /// Producer sequence numbers this instruction waits on to *issue*
+    /// (for stores: the address operands only); `NO_SEQ` = no dependence.
+    deps: [u64; 3],
+    /// For stores: the producer of the store *data*, tracked separately —
+    /// the address is generated as soon as the base register is ready,
+    /// exactly so younger loads are not serialized behind store data.
+    data_dep: u64,
+    addr: u64,
+    /// Address-generation completion cycle.
+    agen_done_at: u64,
+    /// Earliest cycle the memory stage may process it (after redirect).
+    mem_ready_at: u64,
+    /// Same as `issue_q`, for the memory stage's appointment book.
+    mem_q: u64,
+    /// The folded-before-capacity ARPT training key (`Arpt::key`) for
+    /// [`F_ARPT_PRED`] slots, 0 otherwise. Replaces carrying `pc`/`ghr`/`ra`
+    /// per slot: dispatch computes it once (or takes it precompiled from a
+    /// v3 trace) and region verification trains through `Arpt::update_key`.
+    arpt_key: u64,
+    /// Intrusive next-pointer (an older store's seq, or `NO_SEQ`) chaining
+    /// in-flight stores that share a `(block, route)` key — the store
+    /// index's per-block list (see [`TimingSim::store_blocks`]). Not
+    /// serialized; import rebuilds the chains from the slot records.
+    store_next: u64,
+    latency: u64,
+    // Issue wake-up support: the slot enters the issue appointment book at
+    // `earliest_try` once `unknown_deps` (producers whose completion cycle
+    // is not yet known) reaches zero. Producers keep an intrusive list of
+    // waiting consumers: `wake_head` holds a packed
+    // `(consumer_seq << 2) | dep_index` handle and the consumer's
+    // `wake_next[dep_index]` chains it, so firing a completed producer's
+    // list touches exactly its consumers. `dep_index` 3 is the store-data
+    // dependence (guarded by [`F_DATA_WAKE`]), which wakes the memory
+    // stage rather than issue.
+    wake_head: u64,
+    wake_next: [u64; 4],
+    fu: Fu,
+    mem: MemPhase,
+    route: Route,
+    flags: u8,
+    unknown_deps: u8,
+    /// Whether the slot's issue preconditions must be re-verified: set by a
+    /// squash (which revokes completions and pushes dispatch times out) and
+    /// conservatively on state import. Non-stale slots reaching their
+    /// booked issue cycle provably satisfy `dispatch_cycle < cycle` and
+    /// `deps_ready` (consumers of a squashed producer are younger than it,
+    /// hence themselves squash-marked), so the issue stage skips both
+    /// checks. Not serialized.
+    stale: bool,
+    /// Registers whose renamer claim this slot holds (`NO_REG` = none):
+    /// commit releases exactly these instead of scanning all 64.
+    claimed: [u8; 2],
+}
+
+impl Slot {
+    const EMPTY: Slot = Slot {
+        dispatch_cycle: 0,
+        complete_at: NO_CYCLE,
+        earliest_try: 0,
+        issue_q: QUEUE_NONE,
+        deps: [NO_SEQ; 3],
+        data_dep: NO_SEQ,
+        addr: 0,
+        agen_done_at: NO_CYCLE,
+        mem_ready_at: 0,
+        mem_q: QUEUE_NONE,
+        arpt_key: 0,
+        store_next: NO_SEQ,
+        latency: 0,
+        wake_head: NO_SEQ,
+        wake_next: [NO_SEQ; 4],
+        fu: Fu::IntAlu,
+        mem: MemPhase::None,
+        route: Route::DataCache,
+        flags: 0,
+        unknown_deps: 0,
+        stale: false,
+        claimed: [NO_REG; 2],
+    };
+}
+
+/// The in-flight window as a ring buffer of packed [`Slot`] records: slot
+/// `seq` lives at physical index `(head + (seq - head_seq)) & mask`.
+/// Capacity is the ROB size rounded up to a power of two and never grows,
+/// so no per-cycle allocation happens on the hot path.
 struct RobSoa {
     mask: usize,
     head: usize,
     len: usize,
     head_seq: u64,
-    dispatch_cycle: Vec<u64>,
-    /// Producer sequence numbers this instruction waits on to *issue*
-    /// (for stores: the address operands only); `NO_SEQ` = no dependence.
-    deps: Vec<[u64; 3]>,
-    /// For stores: the producer of the store *data*, tracked separately —
-    /// the address is generated as soon as the base register is ready,
-    /// exactly so younger loads are not serialized behind store data.
-    data_dep: Vec<u64>,
-    fu: Vec<Fu>,
-    latency: Vec<u64>,
-    /// Cycle the result is available to consumers (`NO_CYCLE` until known).
-    complete_at: Vec<u64>,
-    mem: Vec<MemPhase>,
-    addr: Vec<u64>,
-    route: Vec<Route>,
-    /// Earliest cycle the memory stage may process it (after redirect).
-    mem_ready_at: Vec<u64>,
-    /// Address-generation completion cycle.
-    agen_done_at: Vec<u64>,
-    flags: Vec<u8>,
-    pc: Vec<u64>,
-    ghr: Vec<u64>,
-    ra: Vec<u64>,
-    // Issue wake-up support. `earliest_try` is a provable lower bound on
-    // the first cycle the slot could pass the authoritative issue check;
-    // the slot enters the issue appointment book at that cycle once
-    // `unknown_deps` (producers whose completion cycle is not yet known)
-    // reaches zero. Producers keep an intrusive list of waiting consumers:
-    // `wake_head[p]` holds a packed `(consumer_seq << 2) | dep_index`
-    // handle and `wake_next[c][k]` chains it, so firing a completed
-    // producer's list touches exactly its consumers. `dep_index` 3 is the
-    // store-data dependence (guarded by [`F_DATA_WAKE`]), which wakes the
-    // memory stage rather than issue.
-    earliest_try: Vec<u64>,
-    unknown_deps: Vec<u8>,
-    wake_head: Vec<u64>,
-    wake_next: Vec<[u64; 4]>,
-    /// Registers whose renamer claim this slot holds (`NO_REG` = none):
-    /// commit releases exactly these instead of scanning all 64.
-    claimed: Vec<[u8; 2]>,
-    /// Where the slot currently sits in the issue stage's appointment
-    /// book: a future bucket key, [`QUEUE_RETRY`], or [`QUEUE_NONE`]
-    /// (parked on wake lists, issued, or not dispatched). Stale bucket
-    /// copies are dropped when this no longer matches their key.
-    issue_q: Vec<u64>,
-    /// Same for the memory stage's appointment book.
-    mem_q: Vec<u64>,
+    slot: Vec<Slot>,
+    /// Length of the maximal head-contiguous run of slots with a known
+    /// completion (`complete_at != NO_CYCLE`) — exactly the commit-eligible
+    /// phases, so the commit stage scans only this prefix instead of
+    /// probing the head every cycle. Maintained at the four `complete_at`
+    /// write sites, clamped on squash, decremented on retire.
+    done_prefix: usize,
 }
 
 impl RobSoa {
@@ -223,28 +281,8 @@ impl RobSoa {
             head: 0,
             len: 0,
             head_seq: 0,
-            dispatch_cycle: vec![0; cap],
-            deps: vec![[NO_SEQ; 3]; cap],
-            data_dep: vec![NO_SEQ; cap],
-            fu: vec![Fu::IntAlu; cap],
-            latency: vec![0; cap],
-            complete_at: vec![NO_CYCLE; cap],
-            mem: vec![MemPhase::None; cap],
-            addr: vec![0; cap],
-            route: vec![Route::DataCache; cap],
-            mem_ready_at: vec![0; cap],
-            agen_done_at: vec![NO_CYCLE; cap],
-            flags: vec![0; cap],
-            pc: vec![0; cap],
-            ghr: vec![0; cap],
-            ra: vec![0; cap],
-            earliest_try: vec![0; cap],
-            unknown_deps: vec![0; cap],
-            wake_head: vec![NO_SEQ; cap],
-            wake_next: vec![[NO_SEQ; 4]; cap],
-            claimed: vec![[NO_REG; 2]; cap],
-            issue_q: vec![QUEUE_NONE; cap],
-            mem_q: vec![QUEUE_NONE; cap],
+            slot: vec![Slot::EMPTY; cap],
+            done_prefix: 0,
         }
     }
 
@@ -273,28 +311,31 @@ impl RobSoa {
         i
     }
 
-    /// Retires the head slot.
+    /// Retires the head slot (only ever a done one, so the done prefix
+    /// shortens by exactly the retired slot).
     #[inline]
     fn pop_front(&mut self) {
         debug_assert!(self.len > 0);
+        debug_assert!(self.done_prefix > 0, "commit retires only done heads");
         self.head = (self.head + 1) & self.mask;
         self.len -= 1;
         self.head_seq += 1;
+        self.done_prefix -= 1;
     }
 
     #[inline]
     fn has(&self, i: usize, flag: u8) -> bool {
-        self.flags[i] & flag != 0
+        self.slot[i].flags & flag != 0
     }
 
     #[inline]
     fn set(&mut self, i: usize, flag: u8) {
-        self.flags[i] |= flag;
+        self.slot[i].flags |= flag;
     }
 
     #[inline]
     fn clear(&mut self, i: usize, flag: u8) {
-        self.flags[i] &= !flag;
+        self.slot[i].flags &= !flag;
     }
 }
 
@@ -371,6 +412,55 @@ impl Book {
     }
 }
 
+/// Hasher for the store index's block map. Keys are cache-block addresses
+/// (tagged with the route bit), already well mixed by a single Fibonacci
+/// multiply; SipHash would dominate the lookup cost on the memory-stage
+/// hot path.
+#[derive(Clone, Copy, Default)]
+struct BlockHash(u64);
+
+impl std::hash::Hasher for BlockHash {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+#[derive(Clone, Copy, Default)]
+struct BlockHashBuilder;
+
+impl std::hash::BuildHasher for BlockHashBuilder {
+    type Hasher = BlockHash;
+
+    #[inline]
+    fn build_hasher(&self) -> BlockHash {
+        BlockHash(0)
+    }
+}
+
+/// The store index's map key: the 8-byte-aligned block address with the
+/// route packed into the (always-zero) low bit, so the two ordering
+/// domains never alias.
+#[inline]
+fn store_block_key(addr: u64, route: Route) -> u64 {
+    (addr & !7)
+        | match route {
+            Route::DataCache => 0,
+            Route::Lvc => 1,
+        }
+}
+
 /// The outcome of replaying one shard segment through the machine model
 /// (see [`TimingSim::run_segment_probed`]).
 pub struct SegmentRun<P: Probe = NullProbe> {
@@ -421,6 +511,18 @@ pub struct TimingSim<P: Probe = NullProbe> {
     /// In-flight stores per queue, in program order (for ordering checks).
     lsq_stores: VecDeque<u64>,
     lvaq_stores: VecDeque<u64>,
+    /// Store index, half one: DataCache-routed in-flight stores whose
+    /// address generation has not finished, sorted by sequence. The
+    /// conservative-LSQ check ("every older store's address is known")
+    /// becomes a peek at the first element instead of a queue walk.
+    dc_unknown: Vec<u64>,
+    /// Store index, half two: youngest in-flight store per
+    /// `(block, route)` key, chained older-ward through
+    /// [`RobSoa::store_next`]. A load's match/forwarding scan touches only
+    /// the stores that share its block instead of every older store.
+    /// Rebuilt (not serialized) on state import; [`Self::load_block_cause`]
+    /// keeps the original full scan as the probe-side living spec.
+    store_blocks: HashMap<u64, u64, BlockHashBuilder>,
     lsq_count: usize,
     lvaq_count: usize,
     /// Per-register producer tracking (32 GPR + 32 FPR); `NO_SEQ` = none.
@@ -525,6 +627,8 @@ impl<P: Probe> TimingSim<P> {
             issue_cand: Vec::new(),
             lsq_stores: VecDeque::new(),
             lvaq_stores: VecDeque::new(),
+            dc_unknown: Vec::new(),
+            store_blocks: HashMap::with_hasher(BlockHashBuilder),
             lsq_count: 0,
             lvaq_count: 0,
             reg_producer: [NO_SEQ; 64],
@@ -841,34 +945,32 @@ impl<P: Probe> TimingSim<P> {
         w.u32(self.rob.len as u32);
         for k in 0..self.rob.len {
             let i = self.rob.phys(k);
-            w.u64(self.rob.dispatch_cycle[i]);
-            for &d in &self.rob.deps[i] {
+            w.u64(self.rob.slot[i].dispatch_cycle);
+            for &d in &self.rob.slot[i].deps {
                 w.u64(d);
             }
-            w.u64(self.rob.data_dep[i]);
-            w.u8(self.rob.fu[i] as u8);
-            w.u64(self.rob.latency[i]);
-            w.u64(self.rob.complete_at[i]);
-            w.u8(phase_tag(self.rob.mem[i]));
-            w.u64(self.rob.addr[i]);
-            w.u8(route_tag(self.rob.route[i]));
-            w.u64(self.rob.mem_ready_at[i]);
-            w.u64(self.rob.agen_done_at[i]);
-            w.u8(self.rob.flags[i]);
-            w.u64(self.rob.pc[i]);
-            w.u64(self.rob.ghr[i]);
-            w.u64(self.rob.ra[i]);
-            w.u64(self.rob.earliest_try[i]);
-            w.u8(self.rob.unknown_deps[i]);
-            w.u64(self.rob.wake_head[i]);
-            for &x in &self.rob.wake_next[i] {
+            w.u64(self.rob.slot[i].data_dep);
+            w.u8(self.rob.slot[i].fu as u8);
+            w.u64(self.rob.slot[i].latency);
+            w.u64(self.rob.slot[i].complete_at);
+            w.u8(phase_tag(self.rob.slot[i].mem));
+            w.u64(self.rob.slot[i].addr);
+            w.u8(route_tag(self.rob.slot[i].route));
+            w.u64(self.rob.slot[i].mem_ready_at);
+            w.u64(self.rob.slot[i].agen_done_at);
+            w.u8(self.rob.slot[i].flags);
+            w.u64(self.rob.slot[i].arpt_key);
+            w.u64(self.rob.slot[i].earliest_try);
+            w.u8(self.rob.slot[i].unknown_deps);
+            w.u64(self.rob.slot[i].wake_head);
+            for &x in &self.rob.slot[i].wake_next {
                 w.u64(x);
             }
-            for &r in &self.rob.claimed[i] {
+            for &r in &self.rob.slot[i].claimed {
                 w.u8(r);
             }
-            w.u64(self.rob.issue_q[i]);
-            w.u64(self.rob.mem_q[i]);
+            w.u64(self.rob.slot[i].issue_q);
+            w.u64(self.rob.slot[i].mem_q);
         }
         w.u64_list(&self.wheel.pending());
         w.seal()
@@ -958,34 +1060,32 @@ impl<P: Probe> TimingSim<P> {
         self.next_seq = next_seq;
         for _ in 0..rob_len {
             let i = self.rob.push_back();
-            self.rob.dispatch_cycle[i] = r.u64()?;
-            for d in &mut self.rob.deps[i] {
+            self.rob.slot[i].dispatch_cycle = r.u64()?;
+            for d in &mut self.rob.slot[i].deps {
                 *d = r.u64()?;
             }
-            self.rob.data_dep[i] = r.u64()?;
-            self.rob.fu[i] = fu_from(r.u8()?)?;
-            self.rob.latency[i] = r.u64()?;
-            self.rob.complete_at[i] = r.u64()?;
-            self.rob.mem[i] = phase_from(r.u8()?)?;
-            self.rob.addr[i] = r.u64()?;
-            self.rob.route[i] = route_from(r.u8()?)?;
-            self.rob.mem_ready_at[i] = r.u64()?;
-            self.rob.agen_done_at[i] = r.u64()?;
-            self.rob.flags[i] = r.u8()?;
-            self.rob.pc[i] = r.u64()?;
-            self.rob.ghr[i] = r.u64()?;
-            self.rob.ra[i] = r.u64()?;
-            self.rob.earliest_try[i] = r.u64()?;
-            self.rob.unknown_deps[i] = r.u8()?;
-            self.rob.wake_head[i] = r.u64()?;
-            for x in &mut self.rob.wake_next[i] {
+            self.rob.slot[i].data_dep = r.u64()?;
+            self.rob.slot[i].fu = fu_from(r.u8()?)?;
+            self.rob.slot[i].latency = r.u64()?;
+            self.rob.slot[i].complete_at = r.u64()?;
+            self.rob.slot[i].mem = phase_from(r.u8()?)?;
+            self.rob.slot[i].addr = r.u64()?;
+            self.rob.slot[i].route = route_from(r.u8()?)?;
+            self.rob.slot[i].mem_ready_at = r.u64()?;
+            self.rob.slot[i].agen_done_at = r.u64()?;
+            self.rob.slot[i].flags = r.u8()?;
+            self.rob.slot[i].arpt_key = r.u64()?;
+            self.rob.slot[i].earliest_try = r.u64()?;
+            self.rob.slot[i].unknown_deps = r.u8()?;
+            self.rob.slot[i].wake_head = r.u64()?;
+            for x in &mut self.rob.slot[i].wake_next {
                 *x = r.u64()?;
             }
-            for c in &mut self.rob.claimed[i] {
+            for c in &mut self.rob.slot[i].claimed {
                 *c = r.u8()?;
             }
-            self.rob.issue_q[i] = r.u64()?;
-            self.rob.mem_q[i] = r.u64()?;
+            self.rob.slot[i].issue_q = r.u64()?;
+            self.rob.slot[i].mem_q = r.u64()?;
         }
         // Re-book the appointment books from each slot's authoritative
         // queue key. Every live booking is strictly future at a cut (every
@@ -996,13 +1096,30 @@ impl<P: Probe> TimingSim<P> {
         for k in 0..self.rob.len {
             let seq = self.rob.head_seq + k as u64;
             let i = self.rob.phys(k);
-            match self.rob.issue_q[i] {
+            // The derived structures are not serialized; rebuild them.
+            // `stale` is conservatively true (the issue fast path re-proves
+            // its invariant on first touch), the done prefix recomputes
+            // from the completion column, and the store index re-links from
+            // the SoA (oldest-first push-head leaves the youngest store at
+            // each chain head, exactly as incremental maintenance does).
+            self.rob.slot[i].stale = true;
+            if self.rob.done_prefix == k && self.rob.slot[i].complete_at != NO_CYCLE {
+                self.rob.done_prefix = k + 1;
+            }
+            if self.rob.slot[i].mem != MemPhase::None && !self.rob.has(i, F_IS_LOAD) {
+                let route = self.rob.slot[i].route;
+                self.link_store_block(seq, route, self.rob.slot[i].addr);
+                if route == Route::DataCache && self.rob.slot[i].agen_done_at == NO_CYCLE {
+                    self.dc_unknown.push(seq);
+                }
+            }
+            match self.rob.slot[i].issue_q {
                 QUEUE_NONE => {}
                 QUEUE_RETRY => self.issue_retry.push(seq),
                 at if at > self.cycle => self.issue_book.insert(at, self.cycle, seq),
                 _ => return Err(corrupt("stale issue appointment")),
             }
-            match self.rob.mem_q[i] {
+            match self.rob.slot[i].mem_q {
                 QUEUE_NONE => {}
                 QUEUE_RETRY => self.mem_retry.push(seq),
                 at if at > self.cycle => self.mem_book.insert(at, self.cycle, seq),
@@ -1073,13 +1190,13 @@ impl<P: Probe> TimingSim<P> {
         if self.rob.has(i, F_VALUE_PRED) {
             // Consumers may use the predicted value the cycle after the
             // producer dispatched.
-            return self.rob.dispatch_cycle[i] + 1;
+            return self.rob.slot[i].dispatch_cycle + 1;
         }
-        self.rob.complete_at[i] // NO_CYCLE until issued
+        self.rob.slot[i].complete_at // NO_CYCLE until issued
     }
 
     fn deps_ready(&self, i: usize) -> bool {
-        self.rob.deps[i].iter().all(|&dep| {
+        self.rob.slot[i].deps.iter().all(|&dep| {
             dep == NO_SEQ || {
                 let ready = self.producer_ready_at(dep);
                 ready != NO_CYCLE && ready <= self.cycle
@@ -1098,7 +1215,7 @@ impl<P: Probe> TimingSim<P> {
     #[inline]
     fn queue_issue(&mut self, seq: u64, at: u64) {
         let i = self.rob.idx(seq);
-        self.rob.issue_q[i] = at;
+        self.rob.slot[i].issue_q = at;
         self.issue_book.insert(at, self.cycle, seq);
     }
 
@@ -1107,8 +1224,66 @@ impl<P: Probe> TimingSim<P> {
     #[inline]
     fn queue_mem(&mut self, seq: u64, at: u64) {
         let i = self.rob.idx(seq);
-        self.rob.mem_q[i] = at;
+        self.rob.slot[i].mem_q = at;
         self.mem_book.insert(at, self.cycle, seq);
+    }
+
+    /// Pushes store `seq` at the head of its `(block, route)` chain.
+    fn link_store_block(&mut self, seq: u64, route: Route, addr: u64) {
+        let key = store_block_key(addr, route);
+        let i = self.rob.idx(seq);
+        match self.store_blocks.insert(key, seq) {
+            Some(prev) => self.rob.slot[i].store_next = prev,
+            None => self.rob.slot[i].store_next = NO_SEQ,
+        }
+    }
+
+    /// Unlinks store `seq` from its `(block, route)` chain (route change at
+    /// verification, or retirement at commit). Chains hold only the stores
+    /// of one block, so the predecessor walk is a handful of hops at most.
+    fn unlink_store_block(&mut self, seq: u64, route: Route, addr: u64) {
+        let key = store_block_key(addr, route);
+        let next = self.rob.slot[self.rob.idx(seq)].store_next;
+        let Some(&head) = self.store_blocks.get(&key) else {
+            debug_assert!(false, "store {seq} missing from its block chain");
+            return;
+        };
+        if head == seq {
+            if next == NO_SEQ {
+                self.store_blocks.remove(&key);
+            } else {
+                self.store_blocks.insert(key, next);
+            }
+            return;
+        }
+        let mut cur = head;
+        loop {
+            let ci = self.rob.idx(cur);
+            let n = self.rob.slot[ci].store_next;
+            debug_assert_ne!(n, NO_SEQ, "store {seq} missing from its block chain");
+            if n == seq {
+                self.rob.slot[ci].store_next = next;
+                return;
+            }
+            cur = n;
+        }
+    }
+
+    /// Slot `seq` just gained a known completion cycle: extend the done
+    /// prefix if it is the next slot in line (and absorb any already-done
+    /// run behind it). Each slot enters the prefix once per completion, so
+    /// the total extension work is bounded by the completions themselves.
+    #[inline]
+    fn note_complete(&mut self, seq: u64) {
+        let rob = &mut self.rob;
+        if seq != rob.head_seq + rob.done_prefix as u64 {
+            return;
+        }
+        let mut p = rob.done_prefix;
+        while p < rob.len && rob.slot[rob.phys(p)].complete_at != NO_CYCLE {
+            p += 1;
+        }
+        rob.done_prefix = p;
     }
 
     /// Producer slot `i` just learned its completion cycle: wake every
@@ -1121,32 +1296,34 @@ impl<P: Probe> TimingSim<P> {
     /// costs re-checks (the authoritative checks still gate).
     #[inline]
     fn fire_wakes(&mut self, i: usize, ready_at: u64) {
-        let mut h = self.rob.wake_head[i];
+        let mut h = self.rob.slot[i].wake_head;
         if h == NO_SEQ {
             return;
         }
-        self.rob.wake_head[i] = NO_SEQ;
+        self.rob.slot[i].wake_head = NO_SEQ;
         while h != NO_SEQ {
             let seq = h >> 2;
             let k = (h & 3) as usize;
             let c = self.rob.idx(seq);
-            h = self.rob.wake_next[c][k];
+            h = self.rob.slot[c].wake_next[k];
             if k == 3 {
                 // Store data arrival: the memory stage completes the store
                 // once it is both redirect-served and data-ready.
                 self.rob.clear(c, F_DATA_WAKE);
-                if self.rob.mem[c] == MemPhase::Ready && self.rob.complete_at[c] == NO_CYCLE {
-                    let at = ready_at.max(self.rob.mem_ready_at[c]);
+                if self.rob.slot[c].mem == MemPhase::Ready
+                    && self.rob.slot[c].complete_at == NO_CYCLE
+                {
+                    let at = ready_at.max(self.rob.slot[c].mem_ready_at);
                     self.queue_mem(seq, at);
                 }
                 continue;
             }
-            self.rob.unknown_deps[c] -= 1;
-            if ready_at > self.rob.earliest_try[c] {
-                self.rob.earliest_try[c] = ready_at;
+            self.rob.slot[c].unknown_deps -= 1;
+            if ready_at > self.rob.slot[c].earliest_try {
+                self.rob.slot[c].earliest_try = ready_at;
             }
-            if self.rob.unknown_deps[c] == 0 {
-                let at = self.rob.earliest_try[c];
+            if self.rob.slot[c].unknown_deps == 0 {
+                let at = self.rob.slot[c].earliest_try;
                 self.queue_issue(seq, at);
             }
         }
@@ -1160,25 +1337,45 @@ impl<P: Probe> TimingSim<P> {
             return false;
         }
         // Memory instructions need a queue entry; pick the queue now (the
-        // paper's dispatch-stage steering).
+        // paper's dispatch-stage steering). A compiled trace (v3) carries
+        // the steering class and ARPT key precomputed; the live path
+        // derives both from the instruction. Either way the same key is
+        // folded, the same table consulted and trained, and the same
+        // lookup counted, so the prediction stream is bit-identical.
+        let hints = &entry.model;
         let mut route = Route::DataCache;
         let mut predicted_stack = false;
         let mut arpt_predicted = false;
+        let mut arpt_key = 0u64;
         let is_mem = entry.mem.is_some();
         if is_mem {
             if self.config.is_decoupled() {
-                let Some(info) = entry.inst.mem_op() else {
-                    unreachable!("memory entry carries no mem_op");
+                let hint = if hints.present {
+                    match hints.steer {
+                        ModelHints::STEER_STACK => StaticHint::Stack,
+                        ModelHints::STEER_NONSTACK => StaticHint::NonStack,
+                        _ => StaticHint::Dynamic,
+                    }
+                } else {
+                    let Some(info) = entry.inst.mem_op() else {
+                        unreachable!("memory entry carries no mem_op");
+                    };
+                    static_hint(&info)
                 };
-                predicted_stack = match static_hint(&info) {
+                predicted_stack = match hint {
                     StaticHint::Stack => true,
                     StaticHint::NonStack => false,
                     StaticHint::Dynamic => {
                         arpt_predicted = true;
+                        arpt_key = if hints.present {
+                            hints.arpt_key
+                        } else {
+                            self.arpt.key(entry.pc, entry.ghr, entry.ra)
+                        };
                         if !self.arpt_faults.is_empty() {
                             self.apply_arpt_faults();
                         }
-                        self.arpt.predict_counted(entry.pc, entry.ghr, entry.ra)
+                        self.arpt.predict_counted_key(arpt_key)
                     }
                 };
                 route = if predicted_stack {
@@ -1204,38 +1401,52 @@ impl<P: Probe> TimingSim<P> {
         self.next_seq += 1;
 
         // Resolve sources against the renamer state. Store-data operands
-        // are tracked separately from address operands.
+        // are tracked separately from address operands. Compiled hints
+        // carry the unified operand indices precomputed
+        // (`arl_core::model_srcs` is the shared definition both paths
+        // follow); the live path extracts them from the instruction.
         let mut deps: [u64; 3] = [NO_SEQ; 3];
         let mut data_dep: u64 = NO_SEQ;
-        let mut n = 0;
-        match entry.inst {
-            arl_isa::Inst::Store { rs, base, .. } => {
-                if base != arl_isa::Gpr::ZERO {
-                    deps[0] = self.reg_producer[base.index()];
-                }
-                if rs != arl_isa::Gpr::ZERO {
-                    data_dep = self.reg_producer[rs.index()];
+        if hints.present {
+            for (k, &src) in hints.srcs.iter().enumerate() {
+                if src != NO_SRC {
+                    deps[k] = self.reg_producer[src as usize];
                 }
             }
-            arl_isa::Inst::FStore { fs, base, .. } => {
-                if base != arl_isa::Gpr::ZERO {
-                    deps[0] = self.reg_producer[base.index()];
-                }
-                data_dep = self.reg_producer[32 + fs.index()];
+            if hints.data_src != NO_SRC {
+                data_dep = self.reg_producer[hints.data_src as usize];
             }
-            _ => {
-                let mut gprs = [arl_isa::Gpr::ZERO; 2];
-                let ng = entry.inst.gpr_sources_into(&mut gprs);
-                for &r in &gprs[..ng] {
-                    deps[n] = self.reg_producer[r.index()];
-                    n += 1;
+        } else {
+            let mut n = 0;
+            match entry.inst {
+                arl_isa::Inst::Store { rs, base, .. } => {
+                    if base != arl_isa::Gpr::ZERO {
+                        deps[0] = self.reg_producer[base.index()];
+                    }
+                    if rs != arl_isa::Gpr::ZERO {
+                        data_dep = self.reg_producer[rs.index()];
+                    }
                 }
-                let mut fprs = [arl_isa::Fpr::new(0); 2];
-                let nf = entry.inst.fpr_sources_into(&mut fprs);
-                for &r in &fprs[..nf] {
-                    if n < 3 {
-                        deps[n] = self.reg_producer[32 + r.index()];
+                arl_isa::Inst::FStore { fs, base, .. } => {
+                    if base != arl_isa::Gpr::ZERO {
+                        deps[0] = self.reg_producer[base.index()];
+                    }
+                    data_dep = self.reg_producer[32 + fs.index()];
+                }
+                _ => {
+                    let mut gprs = [arl_isa::Gpr::ZERO; 2];
+                    let ng = entry.inst.gpr_sources_into(&mut gprs);
+                    for &r in &gprs[..ng] {
+                        deps[n] = self.reg_producer[r.index()];
                         n += 1;
+                    }
+                    let mut fprs = [arl_isa::Fpr::new(0); 2];
+                    let nf = entry.inst.fpr_sources_into(&mut fprs);
+                    for &r in &fprs[..nf] {
+                        if n < 3 {
+                            deps[n] = self.reg_producer[32 + r.index()];
+                            n += 1;
+                        }
                     }
                 }
             }
@@ -1254,12 +1465,23 @@ impl<P: Probe> TimingSim<P> {
             self.reg_producer[rd.index()] = seq;
             claimed[0] = rd.index() as u8;
         }
-        if let Some(fd) = entry.inst.fpr_dest() {
-            self.reg_producer[32 + fd.index()] = seq;
-            claimed[1] = 32 + fd.index() as u8;
+        let fpr_dest = if hints.present {
+            hints.fpr_dest
+        } else {
+            arl_core::fpr_dest_index(&entry.inst)
+        };
+        if fpr_dest != NO_SRC {
+            self.reg_producer[fpr_dest as usize] = seq;
+            claimed[1] = fpr_dest;
         }
 
-        let (fu, latency) = classify(&entry.inst);
+        let (fu, latency) = if hints.present {
+            let class = FuClass::from_tag(hints.fu).unwrap_or(FuClass::IntAlu);
+            (fu_of_class(class), u64::from(hints.latency))
+        } else {
+            classify(&entry.inst)
+        };
+        debug_assert_eq!((fu, latency), classify(&entry.inst));
         let (is_load, addr, is_stack) = match entry.mem {
             Some(m) => (m.is_load, m.addr, m.is_stack()),
             None => (false, 0, false),
@@ -1285,21 +1507,21 @@ impl<P: Probe> TimingSim<P> {
         self.stats.instructions += 1;
 
         let i = self.rob.push_back();
-        self.rob.dispatch_cycle[i] = self.cycle;
-        self.rob.deps[i] = deps;
-        self.rob.data_dep[i] = data_dep;
-        self.rob.fu[i] = fu;
-        self.rob.latency[i] = latency;
-        self.rob.complete_at[i] = NO_CYCLE;
-        self.rob.mem[i] = if is_mem {
+        self.rob.slot[i].dispatch_cycle = self.cycle;
+        self.rob.slot[i].deps = deps;
+        self.rob.slot[i].data_dep = data_dep;
+        self.rob.slot[i].fu = fu;
+        self.rob.slot[i].latency = latency;
+        self.rob.slot[i].complete_at = NO_CYCLE;
+        self.rob.slot[i].mem = if is_mem {
             MemPhase::WaitAgen
         } else {
             MemPhase::None
         };
-        self.rob.addr[i] = addr;
-        self.rob.route[i] = route;
-        self.rob.mem_ready_at[i] = 0;
-        self.rob.agen_done_at[i] = NO_CYCLE;
+        self.rob.slot[i].addr = addr;
+        self.rob.slot[i].route = route;
+        self.rob.slot[i].mem_ready_at = 0;
+        self.rob.slot[i].agen_done_at = NO_CYCLE;
         let mut flags = 0u8;
         if value_predicted {
             flags |= F_VALUE_PRED;
@@ -1313,19 +1535,27 @@ impl<P: Probe> TimingSim<P> {
         if arpt_predicted {
             flags |= F_ARPT_PRED;
         }
-        self.rob.flags[i] = flags;
-        self.rob.pc[i] = entry.pc;
-        self.rob.ghr[i] = entry.ghr;
-        self.rob.ra[i] = entry.ra;
-        self.rob.claimed[i] = claimed;
-        self.rob.mem_q[i] = QUEUE_NONE; // agen issue books the appointment
-                                        // Issue-wakeup bookkeeping: compute a provable lower bound on the
-                                        // first cycle the issue check could pass, and register on any
-                                        // producer whose completion cycle is not yet known. The slot's own
-                                        // wake list must be empty here — producers fire (complete) before
-                                        // they commit, so a reused slot's list was drained.
-        self.rob.wake_head[i] = NO_SEQ;
-        self.rob.wake_next[i] = [NO_SEQ; 4];
+        self.rob.slot[i].flags = flags;
+        self.rob.slot[i].arpt_key = arpt_key;
+        self.rob.slot[i].stale = false;
+        self.rob.slot[i].claimed = claimed;
+        self.rob.slot[i].mem_q = QUEUE_NONE; // agen issue books the appointment
+        if is_mem && !is_load {
+            // Store-index maintenance: link into the (block, route) chain;
+            // a DataCache store's address is unknown until its agen issues.
+            self.link_store_block(seq, route, addr);
+            if route == Route::DataCache {
+                debug_assert!(self.dc_unknown.last().is_none_or(|&s| s < seq));
+                self.dc_unknown.push(seq);
+            }
+        }
+        // Issue-wakeup bookkeeping: compute a provable lower bound on the
+        // first cycle the issue check could pass, and register on any
+        // producer whose completion cycle is not yet known. The slot's own
+        // wake list must be empty here — producers fire (complete) before
+        // they commit, so a reused slot's list was drained.
+        self.rob.slot[i].wake_head = NO_SEQ;
+        self.rob.slot[i].wake_next = [NO_SEQ; 4];
         let mut earliest = self.cycle + 1; // issue needs dispatch_cycle < cycle
         let mut unknown = 0u8;
         for (k, &dep) in deps.iter().enumerate() {
@@ -1334,21 +1564,21 @@ impl<P: Probe> TimingSim<P> {
             }
             let j = self.rob.idx(dep);
             if self.rob.has(j, F_VALUE_PRED) {
-                earliest = earliest.max(self.rob.dispatch_cycle[j] + 1);
-            } else if self.rob.complete_at[j] != NO_CYCLE {
-                earliest = earliest.max(self.rob.complete_at[j]);
+                earliest = earliest.max(self.rob.slot[j].dispatch_cycle + 1);
+            } else if self.rob.slot[j].complete_at != NO_CYCLE {
+                earliest = earliest.max(self.rob.slot[j].complete_at);
             } else {
-                self.rob.wake_next[i][k] = self.rob.wake_head[j];
-                self.rob.wake_head[j] = (seq << 2) | k as u64;
+                self.rob.slot[i].wake_next[k] = self.rob.slot[j].wake_head;
+                self.rob.slot[j].wake_head = (seq << 2) | k as u64;
                 unknown += 1;
             }
         }
-        self.rob.earliest_try[i] = earliest;
-        self.rob.unknown_deps[i] = unknown;
+        self.rob.slot[i].earliest_try = earliest;
+        self.rob.slot[i].unknown_deps = unknown;
         if unknown == 0 {
             self.queue_issue(seq, earliest);
         } else {
-            self.rob.issue_q[i] = QUEUE_NONE; // parked until the last wake
+            self.rob.slot[i].issue_q = QUEUE_NONE; // parked until the last wake
         }
         let _ = predicted_stack;
         true
@@ -1393,14 +1623,14 @@ impl<P: Probe> TimingSim<P> {
         due.clear();
         self.issue_book.drain_due(cycle, &mut due);
         for &(at, seq) in &due {
-            if seq >= self.rob.head_seq && self.rob.issue_q[self.rob.idx(seq)] == at {
+            if seq >= self.rob.head_seq && self.rob.slot[self.rob.idx(seq)].issue_q == at {
                 cand.push(seq);
             }
         }
         self.due_scratch = due;
         for n in 0..self.issue_retry.len() {
             let seq = self.issue_retry[n];
-            if seq >= self.rob.head_seq && self.rob.issue_q[self.rob.idx(seq)] == QUEUE_RETRY {
+            if seq >= self.rob.head_seq && self.rob.slot[self.rob.idx(seq)].issue_q == QUEUE_RETRY {
                 cand.push(seq);
             }
         }
@@ -1413,11 +1643,27 @@ impl<P: Probe> TimingSim<P> {
         let width = self.config.issue_width;
         for &seq in &cand {
             let i = self.rob.idx(seq);
-            debug_assert_eq!(self.rob.unknown_deps[i], 0);
-            debug_assert!(self.rob.earliest_try[i] <= cycle);
+            debug_assert_eq!(self.rob.slot[i].unknown_deps, 0);
+            debug_assert!(self.rob.slot[i].earliest_try <= cycle);
             if issued < width {
-                let fu = self.rob.fu[i];
-                let ready = self.rob.dispatch_cycle[i] < cycle && self.deps_ready(i);
+                let fu = self.rob.slot[i].fu;
+                // Ready re-verification is only needed on slots a squash
+                // has touched (or freshly imported state): everywhere else
+                // the booked cycle's bound is a proof — completions are
+                // only ever revoked by squashing the producer, and a
+                // consumer is younger than its producer, so it was
+                // squash-marked too. Clear the mark once re-proven.
+                let ready = if self.rob.slot[i].stale {
+                    let ok = self.rob.slot[i].dispatch_cycle < cycle && self.deps_ready(i);
+                    if ok {
+                        self.rob.slot[i].stale = false;
+                    }
+                    ok
+                } else {
+                    debug_assert!(self.rob.slot[i].dispatch_cycle < cycle);
+                    debug_assert!(self.deps_ready(i));
+                    true
+                };
                 let fu_idx = fu as usize;
                 let fu_cap = match fu {
                     Fu::IntAlu => self.config.int_alus,
@@ -1428,19 +1674,30 @@ impl<P: Probe> TimingSim<P> {
                 if ready && self.fu_used[fu_idx] < fu_cap {
                     self.fu_used[fu_idx] += 1;
                     issued += 1;
-                    let done_at = cycle + self.rob.latency[i];
+                    let done_at = cycle + self.rob.slot[i].latency;
                     self.rob.set(i, F_ISSUED);
-                    self.rob.issue_q[i] = QUEUE_NONE;
-                    if self.rob.mem[i] == MemPhase::WaitAgen {
+                    self.rob.slot[i].issue_q = QUEUE_NONE;
+                    if self.rob.slot[i].mem == MemPhase::WaitAgen {
                         // Address generation completes next cycle; the
                         // memory stage takes over. Completion is still
                         // unknown — consumers stay registered until the
                         // access starts.
-                        self.rob.agen_done_at[i] = done_at;
-                        self.rob.complete_at[i] = NO_CYCLE;
+                        self.rob.slot[i].agen_done_at = done_at;
+                        self.rob.slot[i].complete_at = NO_CYCLE;
+                        if !self.rob.has(i, F_IS_LOAD) && self.rob.slot[i].route == Route::DataCache
+                        {
+                            // The store's address is now (as of `done_at`,
+                            // observed next memory stage) known.
+                            if let Ok(p) = self.dc_unknown.binary_search(&seq) {
+                                self.dc_unknown.remove(p);
+                            } else {
+                                debug_assert!(false, "issuing DataCache store {seq} untracked");
+                            }
+                        }
                         self.queue_mem(seq, done_at);
                     } else {
-                        self.rob.complete_at[i] = done_at;
+                        self.rob.slot[i].complete_at = done_at;
+                        self.note_complete(seq);
                         self.fire_wakes(i, done_at);
                     }
                     self.sched(done_at);
@@ -1450,7 +1707,7 @@ impl<P: Probe> TimingSim<P> {
             // Starved of width or a functional unit, or the wake bound was
             // stale-early (a squash revoked a producer's completion):
             // re-examine every cycle, as the legacy walk does.
-            self.rob.issue_q[i] = QUEUE_RETRY;
+            self.rob.slot[i].issue_q = QUEUE_RETRY;
             self.issue_retry.push(seq);
         }
         self.issue_cand = cand;
@@ -1491,14 +1748,14 @@ impl<P: Probe> TimingSim<P> {
         due.clear();
         self.mem_book.drain_due(cycle, &mut due);
         for &(at, seq) in &due {
-            if seq >= self.rob.head_seq && self.rob.mem_q[self.rob.idx(seq)] == at {
+            if seq >= self.rob.head_seq && self.rob.slot[self.rob.idx(seq)].mem_q == at {
                 actions.push(seq);
             }
         }
         self.due_scratch = due;
         for n in 0..self.mem_retry.len() {
             let seq = self.mem_retry[n];
-            if seq >= self.rob.head_seq && self.rob.mem_q[self.rob.idx(seq)] == QUEUE_RETRY {
+            if seq >= self.rob.head_seq && self.rob.slot[self.rob.idx(seq)].mem_q == QUEUE_RETRY {
                 actions.push(seq);
             }
         }
@@ -1511,20 +1768,20 @@ impl<P: Probe> TimingSim<P> {
             //    generation finishes. (A squash may have reset a later
             //    action candidate back to pre-agen state mid-pass — its
             //    appointment book slot was rewritten, so leave it alone.)
-            if self.rob.mem[i] == MemPhase::WaitAgen {
+            if self.rob.slot[i].mem == MemPhase::WaitAgen {
                 let needs_verify = !self.rob.has(i, F_VERIFIED)
-                    && self.rob.agen_done_at[i] != NO_CYCLE
-                    && self.rob.agen_done_at[i] <= cycle;
+                    && self.rob.slot[i].agen_done_at != NO_CYCLE
+                    && self.rob.slot[i].agen_done_at <= cycle;
                 if needs_verify {
                     if self.verify_region(seq) {
                         active = true;
                         // Now Ready; access may start the next cycle at
                         // the earliest (later after a redirect penalty).
-                        let at = self.rob.mem_ready_at[i].max(cycle + 1);
+                        let at = self.rob.slot[i].mem_ready_at.max(cycle + 1);
                         self.queue_mem(seq, at);
                     } else {
                         // Redirect target queue full: retry every cycle.
-                        self.rob.mem_q[i] = QUEUE_RETRY;
+                        self.rob.slot[i].mem_q = QUEUE_RETRY;
                         self.mem_retry.push(seq);
                     }
                 }
@@ -1532,28 +1789,29 @@ impl<P: Probe> TimingSim<P> {
             }
             // A squash earlier in this same pass may have reset this
             // action candidate; only due Ready slots proceed.
-            if self.rob.mem[i] != MemPhase::Ready || self.rob.mem_ready_at[i] > cycle {
+            if self.rob.slot[i].mem != MemPhase::Ready || self.rob.slot[i].mem_ready_at > cycle {
                 continue;
             }
             if self.rob.has(i, F_IS_LOAD) {
                 if self.try_start_load(seq) {
                     active = true;
-                    self.rob.mem_q[i] = QUEUE_NONE; // access in flight
+                    self.rob.slot[i].mem_q = QUEUE_NONE; // access in flight
                 } else {
                     // Ordering, port, or MSHR blocked: retry every cycle.
-                    self.rob.mem_q[i] = QUEUE_RETRY;
+                    self.rob.slot[i].mem_q = QUEUE_RETRY;
                     self.mem_retry.push(seq);
                 }
-            } else if self.rob.complete_at[i] == NO_CYCLE {
+            } else if self.rob.slot[i].complete_at == NO_CYCLE {
                 // Store: becomes commit-eligible once its data arrives.
-                let data_ready = match self.rob.data_dep[i] {
+                let data_ready = match self.rob.slot[i].data_dep {
                     NO_SEQ => 0,
                     dep => self.producer_ready_at(dep),
                 };
                 if data_ready != NO_CYCLE && data_ready <= cycle {
-                    self.rob.complete_at[i] = cycle;
+                    self.rob.slot[i].complete_at = cycle;
+                    self.note_complete(seq);
                     active = true;
-                    self.rob.mem_q[i] = QUEUE_NONE; // commit takes over
+                    self.rob.slot[i].mem_q = QUEUE_NONE; // commit takes over
                 } else if data_ready != NO_CYCLE {
                     // Arrival cycle already known: book it.
                     self.queue_mem(seq, data_ready);
@@ -1561,16 +1819,16 @@ impl<P: Probe> TimingSim<P> {
                     // Unknown: park on the data producer's wake list. The
                     // F_DATA_WAKE guard keeps one live registration across
                     // squash-and-replay.
-                    self.rob.mem_q[i] = QUEUE_NONE;
+                    self.rob.slot[i].mem_q = QUEUE_NONE;
                     if !self.rob.has(i, F_DATA_WAKE) {
-                        let p = self.rob.idx(self.rob.data_dep[i]);
-                        self.rob.wake_next[i][3] = self.rob.wake_head[p];
-                        self.rob.wake_head[p] = (seq << 2) | 3;
+                        let p = self.rob.idx(self.rob.slot[i].data_dep);
+                        self.rob.slot[i].wake_next[3] = self.rob.slot[p].wake_head;
+                        self.rob.slot[p].wake_head = (seq << 2) | 3;
                         self.rob.set(i, F_DATA_WAKE);
                     }
                 }
             } else {
-                self.rob.mem_q[i] = QUEUE_NONE; // completed store
+                self.rob.slot[i].mem_q = QUEUE_NONE; // completed store
             }
         }
         self.mem_scratch = actions;
@@ -1582,11 +1840,10 @@ impl<P: Probe> TimingSim<P> {
     /// target queue is full and verification must retry next cycle).
     fn verify_region(&mut self, seq: u64) -> bool {
         let i = self.rob.idx(seq);
-        let route = self.rob.route[i];
+        let route = self.rob.slot[i].route;
         let is_stack = self.rob.has(i, F_IS_STACK);
         let is_load = self.rob.has(i, F_IS_LOAD);
         let arpt_predicted = self.rob.has(i, F_ARPT_PRED);
-        let (pc, ghr, ra) = (self.rob.pc[i], self.rob.ghr[i], self.rob.ra[i]);
         let decoupled = self.config.is_decoupled();
         let correct_route = if decoupled && is_stack {
             Route::Lvc
@@ -1628,15 +1885,22 @@ impl<P: Probe> TimingSim<P> {
                 }
                 let insert_at = to.iter().position(|&s| s > seq).unwrap_or(to.len());
                 to.insert(insert_at, seq);
+                // Re-key the store index under the corrected route. Its
+                // address generation is done (verification follows agen),
+                // so the DataCache unknown-address list is not involved in
+                // either direction.
+                let addr = self.rob.slot[i].addr;
+                self.unlink_store_block(seq, route, addr);
+                self.link_store_block(seq, correct_route, addr);
             }
-            self.rob.route[i] = correct_route;
+            self.rob.slot[i].route = correct_route;
             self.rob.set(i, F_VERIFIED);
-            self.rob.mem[i] = MemPhase::Ready;
+            self.rob.slot[i].mem = MemPhase::Ready;
             // Detected and re-dispatched on the correct path; commit
             // counts the completed recovery.
             self.rob.set(i, F_RECOVERED);
             // Detection this cycle; re-issue `penalty` cycles later.
-            self.rob.mem_ready_at[i] = now + 1 + penalty;
+            self.rob.slot[i].mem_ready_at = now + 1 + penalty;
             self.sched(now + 1 + penalty);
             if self.config.recovery == RecoveryMode::Squash {
                 self.squash_younger(seq, now + 1 + penalty);
@@ -1646,13 +1910,14 @@ impl<P: Probe> TimingSim<P> {
                 self.stats.region_checks += 1;
             }
             self.rob.set(i, F_VERIFIED);
-            self.rob.mem[i] = MemPhase::Ready;
-            self.rob.mem_ready_at[i] = now;
+            self.rob.slot[i].mem = MemPhase::Ready;
+            self.rob.slot[i].mem_ready_at = now;
         }
         // Train the ARPT on dynamic (unrevealed) instructions only; the
-        // statically revealed ones are never recorded in it.
+        // statically revealed ones are never recorded in it. The key was
+        // folded once at dispatch (or at trace capture).
         if decoupled && arpt_predicted {
-            self.arpt.update(pc, ghr, ra, is_stack);
+            self.arpt.update_key(self.rob.slot[i].arpt_key, is_stack);
         }
         true
     }
@@ -1661,50 +1926,48 @@ impl<P: Probe> TimingSim<P> {
     /// ports); returns whether the access (or forwarding) started.
     fn try_start_load(&mut self, seq: u64) -> bool {
         let i = self.rob.idx(seq);
-        let route = self.rob.route[i];
-        let addr = self.rob.addr[i];
-        let block = addr & !7;
-        // Ordering against older stores in the same queue.
-        let stores = match route {
-            Route::Lvc => &self.lvaq_stores,
-            Route::DataCache => &self.lsq_stores,
-        };
+        let route = self.rob.slot[i].route;
+        let addr = self.rob.slot[i].addr;
+        // Ordering against older stores in the same queue, answered by the
+        // store index instead of a walk over the whole ordering queue
+        // ([`Self::load_block_cause`] keeps the original scan as the
+        // probe-side living spec; the property suite pins the equivalence
+        // against a brute-force model). Two probes:
+        //
+        // 1. Conservative LSQ: every older DataCache store's address must
+        //    be known — i.e. no older entry in the sorted unknown-agen
+        //    list. (At memory-stage time `agen_done_at != NO_CYCLE`
+        //    implies `agen_done_at <= cycle`: store agen issues with a
+        //    +1-cycle latency and issue runs after this stage.)
+        // 2. Match/forwarding: only the stores sharing the load's block
+        //    and route — the slots chained under its index key. For a
+        //    store, a known completion (`complete_at != NO_CYCLE`) is set
+        //    in this very stage at the current cycle, so it implies
+        //    `complete_at <= cycle`: exactly the scan's data-ready check.
+        if route == Route::DataCache {
+            if let Some(&first) = self.dc_unknown.first() {
+                if first < seq {
+                    return false; // an older store's address is unknown
+                }
+            }
+        }
         let mut forward_ready = false;
-        for &st_seq in stores.iter() {
-            if st_seq >= seq {
-                break;
-            }
+        let mut st_seq = self
+            .store_blocks
+            .get(&store_block_key(addr, route))
+            .copied()
+            .unwrap_or(NO_SEQ);
+        while st_seq != NO_SEQ {
             let j = self.rob.idx(st_seq);
-            let agen = self.rob.agen_done_at[j];
-            let complete = self.rob.complete_at[j];
-            let addr_known = agen != NO_CYCLE && agen <= self.cycle;
-            let data_ready = complete != NO_CYCLE && complete <= self.cycle;
-            match route {
-                Route::DataCache => {
-                    // Conservative LSQ: every older store's address must be
-                    // known before a load may proceed.
-                    if !addr_known {
-                        return false;
-                    }
-                    if self.rob.addr[j] & !7 == block {
-                        if !data_ready {
-                            return false; // matching store's data not produced yet
-                        }
-                        forward_ready = true;
-                    }
+            if st_seq < seq {
+                let complete = self.rob.slot[j].complete_at;
+                debug_assert!(complete == NO_CYCLE || complete <= self.cycle);
+                if complete == NO_CYCLE {
+                    return false; // matching store's data not produced yet
                 }
-                Route::Lvc => {
-                    // Fast forwarding: frame offsets identify the match
-                    // before address generation; unknown stores do not
-                    // block unless they match.
-                    if self.rob.addr[j] & !7 == block {
-                        if !data_ready {
-                            return false; // matching store's data not ready yet
-                        }
-                        forward_ready = true;
-                    }
-                }
+                forward_ready = true;
             }
+            st_seq = self.rob.slot[j].store_next;
         }
         if forward_ready {
             // Store-to-load forwarding: 1 cycle, no cache port.
@@ -1713,8 +1976,9 @@ impl<P: Probe> TimingSim<P> {
                 Route::DataCache => self.stats.lsq_forwards += 1,
             }
             let done_at = self.cycle + 1;
-            self.rob.mem[i] = MemPhase::Accessed;
-            self.rob.complete_at[i] = done_at;
+            self.rob.slot[i].mem = MemPhase::Accessed;
+            self.rob.slot[i].complete_at = done_at;
+            self.note_complete(seq);
             self.fire_wakes(i, done_at);
             self.sched(done_at);
             return true;
@@ -1726,8 +1990,9 @@ impl<P: Probe> TimingSim<P> {
             return false; // miss with no free MSHR — retry next cycle
         };
         let done_at = self.cycle + latency;
-        self.rob.mem[i] = MemPhase::Accessed;
-        self.rob.complete_at[i] = done_at;
+        self.rob.slot[i].mem = MemPhase::Accessed;
+        self.rob.slot[i].complete_at = done_at;
+        self.note_complete(seq);
         self.fire_wakes(i, done_at);
         self.sched(done_at);
         true
@@ -1738,15 +2003,24 @@ impl<P: Probe> TimingSim<P> {
     /// access, if any, restarts from address generation).
     fn squash_younger(&mut self, seq: u64, reissue_at: u64) {
         let floor = reissue_at.saturating_add(1);
+        // Every slot younger than `seq` loses its completion, so the done
+        // prefix cannot reach past `seq` itself.
+        let keep = (seq + 1 - self.rob.head_seq) as usize;
+        if self.rob.done_prefix > keep {
+            self.rob.done_prefix = keep;
+        }
         for k in 0..self.rob.len {
             let s_seq = self.rob.head_seq + k as u64;
             if s_seq <= seq {
                 continue;
             }
             let i = self.rob.phys(k);
+            // The slot's cached issue proof (booked bound, known producer
+            // completions) no longer holds; the issue stage re-verifies.
+            self.rob.slot[i].stale = true;
             // Model the replay by pushing the apparent dispatch time out:
             // issue requires dispatch_cycle < cycle.
-            self.rob.dispatch_cycle[i] = self.rob.dispatch_cycle[i].max(reissue_at);
+            self.rob.slot[i].dispatch_cycle = self.rob.slot[i].dispatch_cycle.max(reissue_at);
             // The cached issue bound is invalid in *both* directions after
             // a squash: revoked completions make it stale-early (harmless),
             // but a replayed producer may also re-complete *earlier* than
@@ -1754,27 +2028,39 @@ impl<P: Probe> TimingSim<P> {
             // old maximum could delay issue past the legacy core. Reset to
             // the reissue horizon — the one bound squash itself guarantees
             // (issue needs cycle > dispatch_cycle >= reissue_at).
-            self.rob.earliest_try[i] = floor;
+            self.rob.slot[i].earliest_try = floor;
             self.rob.clear(i, F_ISSUED);
-            self.rob.complete_at[i] = NO_CYCLE;
+            self.rob.slot[i].complete_at = NO_CYCLE;
             // Re-book the issue appointment at the horizon; from there the
             // retry path re-examines it every cycle exactly as the legacy
             // walk would. Slots still awaiting a producer wake stay parked
             // (their registrations survive the squash — the producer must
             // still complete before it can commit).
-            if self.rob.unknown_deps[i] == 0 {
+            if self.rob.slot[i].unknown_deps == 0 {
                 self.queue_issue(s_seq, floor);
             } else {
-                self.rob.issue_q[i] = QUEUE_NONE;
+                self.rob.slot[i].issue_q = QUEUE_NONE;
             }
-            if self.rob.mem[i] != MemPhase::None {
+            if self.rob.slot[i].mem != MemPhase::None {
                 // Memory references restart from address generation; the
-                // replayed issue books the next memory appointment.
-                self.rob.mem[i] = MemPhase::WaitAgen;
-                self.rob.agen_done_at[i] = NO_CYCLE;
+                // replayed issue books the next memory appointment. A
+                // DataCache store whose address *was* generated rejoins
+                // the unknown-address list (one never issued is still on
+                // it); its block chain membership is untouched.
+                if !self.rob.has(i, F_IS_LOAD)
+                    && self.rob.slot[i].route == Route::DataCache
+                    && self.rob.slot[i].agen_done_at != NO_CYCLE
+                {
+                    match self.dc_unknown.binary_search(&s_seq) {
+                        Err(p) => self.dc_unknown.insert(p, s_seq),
+                        Ok(_) => debug_assert!(false, "store {s_seq} already unknown"),
+                    }
+                }
+                self.rob.slot[i].mem = MemPhase::WaitAgen;
+                self.rob.slot[i].agen_done_at = NO_CYCLE;
                 self.rob.clear(i, F_VERIFIED);
-                self.rob.mem_ready_at[i] = 0;
-                self.rob.mem_q[i] = QUEUE_NONE;
+                self.rob.slot[i].mem_ready_at = 0;
+                self.rob.slot[i].mem_q = QUEUE_NONE;
             }
         }
         // Squashed slots become issue-eligible again the cycle after their
@@ -1787,28 +2073,34 @@ impl<P: Probe> TimingSim<P> {
     fn commit_stage(&mut self) -> usize {
         let mut committed = 0;
         while committed < self.config.issue_width {
-            if self.rob.len == 0 {
+            // Pruned scan: a head is commit-phase-eligible exactly when its
+            // completion cycle is known (None/Accessed always set it at
+            // issue/access; a Ready store sets it when its data arrives; a
+            // Ready load and WaitAgen never have one), and the done prefix
+            // counts precisely the head-contiguous known completions. A
+            // zero prefix — the common busy-cycle case — answers without
+            // touching the per-slot arrays at all.
+            if self.rob.done_prefix == 0 {
                 break;
             }
             let i = self.rob.head;
-            let phase = self.rob.mem[i];
-            let is_mem = phase != MemPhase::None;
-            let is_load = self.rob.has(i, F_IS_LOAD);
-            let route = self.rob.route[i];
-            let addr = self.rob.addr[i];
-            let seq = self.rob.head_seq;
-            let recovered = self.rob.has(i, F_RECOVERED);
-            let complete = self.rob.complete_at[i];
-            let done = match phase {
-                MemPhase::None | MemPhase::Accessed => {
-                    complete != NO_CYCLE && complete <= self.cycle
-                }
-                MemPhase::Ready if !is_load => complete != NO_CYCLE && complete <= self.cycle,
-                _ => false,
-            };
-            if !done {
+            let complete = self.rob.slot[i].complete_at;
+            debug_assert_ne!(complete, NO_CYCLE, "done prefix covers a live head");
+            if complete > self.cycle {
                 break;
             }
+            let phase = self.rob.slot[i].mem;
+            let is_mem = phase != MemPhase::None;
+            let is_load = self.rob.has(i, F_IS_LOAD);
+            debug_assert!(
+                matches!(phase, MemPhase::None | MemPhase::Accessed)
+                    || (phase == MemPhase::Ready && !is_load),
+                "a known completion implies a commit-eligible phase"
+            );
+            let route = self.rob.slot[i].route;
+            let addr = self.rob.slot[i].addr;
+            let seq = self.rob.head_seq;
+            let recovered = self.rob.has(i, F_RECOVERED);
             if is_mem && !is_load {
                 // Stores write the cache at commit: into the write buffer
                 // when one is configured and has space, else directly
@@ -1840,11 +2132,17 @@ impl<P: Probe> TimingSim<P> {
                         }
                     }
                 }
+                if !is_load {
+                    // Retire from the store index (a committing store's
+                    // address was generated, so the unknown list cannot
+                    // hold it).
+                    self.unlink_store_block(seq, route, addr);
+                }
                 // A store committing straight out of Ready leaves the
                 // memory stage lazily (any appointment-book copy is
                 // dropped once `seq` falls behind `head_seq`).
             }
-            for &r in &self.rob.claimed[i] {
+            for &r in &self.rob.slot[i].claimed {
                 if r != NO_REG && self.reg_producer[r as usize] == seq {
                     self.reg_producer[r as usize] = NO_SEQ;
                 }
@@ -1877,7 +2175,7 @@ impl<P: Probe> TimingSim<P> {
             return StallCause::FetchDry;
         }
         let i = self.rob.head;
-        match self.rob.mem[i] {
+        match self.rob.slot[i].mem {
             MemPhase::None | MemPhase::WaitAgen => {
                 if self.rob.has(i, F_ISSUED) {
                     // Result (or address generation) still in the FU
@@ -1894,13 +2192,13 @@ impl<P: Probe> TimingSim<P> {
             }
             MemPhase::Accessed => StallCause::MemLatency,
             MemPhase::Ready => {
-                if self.rob.mem_ready_at[i] > self.cycle {
+                if self.rob.slot[i].mem_ready_at > self.cycle {
                     // Serving the region-misprediction redirect penalty.
                     StallCause::ArptRedirect
                 } else if self.rob.has(i, F_IS_LOAD) {
                     self.load_block_cause(i)
-                } else if self.rob.complete_at[i] != NO_CYCLE
-                    && self.rob.complete_at[i] <= self.cycle
+                } else if self.rob.slot[i].complete_at != NO_CYCLE
+                    && self.rob.slot[i].complete_at <= self.cycle
                 {
                     // Store is done but commit_stage broke on it: the write
                     // buffer is full and the cache denied the write (port
@@ -1919,8 +2217,8 @@ impl<P: Probe> TimingSim<P> {
     /// `i` is the head's physical index.
     fn load_block_cause(&self, i: usize) -> StallCause {
         let seq = self.rob.head_seq;
-        let addr = self.rob.addr[i];
-        let route = self.rob.route[i];
+        let addr = self.rob.slot[i].addr;
+        let route = self.rob.slot[i].route;
         let block = addr & !7;
         let stores = match route {
             Route::Lvc => &self.lvaq_stores,
@@ -1932,14 +2230,14 @@ impl<P: Probe> TimingSim<P> {
                 break;
             }
             let j = self.rob.idx(st_seq);
-            let agen = self.rob.agen_done_at[j];
-            let complete = self.rob.complete_at[j];
+            let agen = self.rob.slot[j].agen_done_at;
+            let complete = self.rob.slot[j].complete_at;
             let addr_known = agen != NO_CYCLE && agen <= self.cycle;
             let data_ready = complete != NO_CYCLE && complete <= self.cycle;
             if route == Route::DataCache && !addr_known {
                 return StallCause::StoreOrdering;
             }
-            if self.rob.addr[j] & !7 == block {
+            if self.rob.slot[j].addr & !7 == block {
                 if !data_ready {
                     return StallCause::StoreOrdering;
                 }

@@ -1,0 +1,97 @@
+//! Compiled-trace differential suite: replaying a v3 trace (whose
+//! precomputed model section the dispatch hot loop consumes instead of
+//! recomputing steering/FU/latency/dependency lookups) must be
+//! **bit-identical** — same entry stream, same `SimStats`, same rendered
+//! probe JSON — to replaying the same instructions without hints, on both
+//! the event-driven and the legacy core. The compiled section is an
+//! accelerator, never an oracle: if it disagrees with the live model,
+//! these tests catch it before any benchmark trusts the numbers.
+
+use arl::sim::{Machine, ModelHints, TraceEntry, TraceSource};
+use arl::timing::{CoreMode, MachineConfig, Recorder, TimingSim};
+use arl::trace::{capture_compiled, Replayer};
+use arl::workloads::{workload, Scale};
+
+const EVENTS: u64 = 40_000;
+
+/// Captures `name` as a compiled (v3) trace and decodes it back into the
+/// hint-annotated entry stream.
+fn compiled_entries(name: &str) -> (Vec<TraceEntry>, arl::asm::Program) {
+    let spec = workload(name).unwrap_or_else(|| panic!("unknown workload {name}"));
+    let program = spec.build(Scale::tiny());
+    let trace = capture_compiled(&program, EVENTS, 0)
+        .unwrap_or_else(|e| panic!("{name}: compiled capture failed: {e}"));
+    let mut replay = Replayer::new(&trace, &program).expect("v3 replayer");
+    let mut entries = Vec::new();
+    while let Some(e) = replay
+        .next_entry()
+        .unwrap_or_else(|e| panic!("{name}: v3 replay failed: {e}"))
+    {
+        assert!(e.model.present, "{name}: v3 replay must carry model hints");
+        entries.push(e);
+    }
+    (entries, program)
+}
+
+/// The compiled replay reconstructs the exact live entry stream — the
+/// model annotation rides along, the architectural fields never move.
+#[test]
+fn compiled_replay_matches_live_execution() {
+    for name in ["go", "compress", "tomcatv"] {
+        let (entries, program) = compiled_entries(name);
+        let mut machine = Machine::new(&program);
+        for (i, compiled) in entries.iter().enumerate() {
+            let live = machine
+                .next_entry()
+                .expect("live execution")
+                .unwrap_or_else(|| panic!("{name}: live stream ended early at {i}"));
+            // TraceEntry equality deliberately ignores the model
+            // annotation, so this compares the architectural fields.
+            assert_eq!(&live, compiled, "{name}: entry {i} diverges");
+        }
+    }
+}
+
+/// All four lever cells — {event, legacy} core × {compiled, plain} trace —
+/// produce identical statistics and probe output.
+#[test]
+fn hint_consumption_is_bit_identical_on_both_cores() {
+    for name in ["go", "compress", "tomcatv"] {
+        let (compiled, _) = compiled_entries(name);
+        let plain: Vec<TraceEntry> = compiled
+            .iter()
+            .map(|e| {
+                let mut p = *e;
+                p.model = ModelHints::NONE;
+                p
+            })
+            .collect();
+        for config in [
+            MachineConfig::decoupled(2, 2),
+            MachineConfig::conventional(2, 2),
+        ] {
+            let mut cells = Vec::new();
+            for core in [CoreMode::Event, CoreMode::Legacy] {
+                for entries in [&compiled, &plain] {
+                    let mut cfg = config.clone();
+                    cfg.core = core;
+                    let (stats, rec) = TimingSim::run_trace_probed(entries, &cfg, Recorder::new());
+                    cells.push((stats, rec.to_json().render()));
+                }
+            }
+            let (head_stats, head_json) = &cells[0];
+            for (i, (stats, json)) in cells.iter().enumerate().skip(1) {
+                assert_eq!(
+                    stats, head_stats,
+                    "{name} on {}: lever cell {i} stats diverge",
+                    config.name
+                );
+                assert_eq!(
+                    json, head_json,
+                    "{name} on {}: lever cell {i} probe JSON diverges",
+                    config.name
+                );
+            }
+        }
+    }
+}
